@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension experiment: multi-view VR rendering. The paper motivates
+ * PATU partly with VR workloads and lists multi-view VR among the
+ * simulator features (Section VI); here each frame renders twice from
+ * IPD-offset eyes. The doubled fragment/texture load makes AF's cost —
+ * and PATU's savings — proportionally larger against the fixed front end.
+ */
+
+#include "bench_util.hh"
+#include "sim/stereo.hh"
+
+using namespace pargpu;
+using namespace pargpu::bench;
+
+int
+main()
+{
+    banner("Extension", "stereo (multi-view VR) rendering");
+
+    GameTrace trace = buildGameTrace(GameId::Ut3, scaleDim(1280),
+                                     scaleDim(1024), numFrames());
+
+    std::printf("%-10s %14s %14s %10s\n", "design", "mono cycles",
+                "stereo cycles", "stereo/mono");
+
+    double base_stereo = 0.0;
+    for (DesignScenario s :
+         {DesignScenario::Baseline, DesignScenario::Patu,
+          DesignScenario::NoAF}) {
+        RunConfig cfg;
+        cfg.scenario = s;
+        cfg.threshold = 0.4f;
+        GpuSimulator sim(makeGpuConfig(cfg));
+
+        double mono = 0.0, stereo = 0.0;
+        for (const Camera &cam : trace.cameras) {
+            FrameOutput m = sim.renderFrame(trace.scene, cam, trace.width,
+                                            trace.height);
+            mono += static_cast<double>(m.stats.total_cycles);
+            StereoFrame sf = renderStereo(sim, trace.scene, cam,
+                                          trace.width, trace.height);
+            stereo += static_cast<double>(sf.totalCycles());
+        }
+        if (s == DesignScenario::Baseline)
+            base_stereo = stereo;
+        std::printf("%-10s %14.0f %14.0f %9.2fx", scenarioName(s),
+                    mono / trace.cameras.size(),
+                    stereo / trace.cameras.size(), stereo / mono);
+        if (s != DesignScenario::Baseline)
+            std::printf("   (stereo speedup vs baseline: %.3fx)",
+                        base_stereo / stereo);
+        std::printf("\n");
+    }
+    return 0;
+}

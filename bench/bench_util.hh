@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench renders real frames through the simulator, which is costly
+ * at the paper's native resolutions on one core. By default the benches
+ * run at half linear resolution with 2 frames per game (relative results
+ * are resolution-stable; see EXPERIMENTS.md). Set PARGPU_FULLRES=1 for
+ * the paper's native resolutions and PARGPU_FRAMES=n to change the frame
+ * count.
+ */
+
+#ifndef PARGPU_BENCH_BENCH_UTIL_HH
+#define PARGPU_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace pargpu::bench
+{
+
+/** True when PARGPU_FULLRES=1: use the paper's native resolutions. */
+inline bool
+fullRes()
+{
+    const char *v = std::getenv("PARGPU_FULLRES");
+    return v && v[0] == '1';
+}
+
+/** Frames per game trace (PARGPU_FRAMES, default 2). */
+inline int
+numFrames()
+{
+    const char *v = std::getenv("PARGPU_FRAMES");
+    int n = v ? std::atoi(v) : 2;
+    return n > 0 ? n : 2;
+}
+
+/** Scale a paper resolution down unless full-res mode is on. */
+inline int
+scaleDim(int dim)
+{
+    return fullRes() ? dim : dim / 2;
+}
+
+/** A workload instance used by most benches. */
+struct Workload
+{
+    GameTrace trace;
+    std::string label;
+};
+
+/** Build the nine Table II game/resolution pairs. */
+inline std::vector<Workload>
+paperWorkloads()
+{
+    std::vector<Workload> out;
+    for (const BenchmarkEntry &e : paperBenchmarks()) {
+        Workload w;
+        w.trace = buildGameTrace(e.id, scaleDim(e.width),
+                                 scaleDim(e.height), numFrames());
+        w.label = std::string(e.abbr) + "-" + std::to_string(e.width) +
+            "x" + std::to_string(e.height);
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *fig, const char *title)
+{
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s: %s\n", fig, title);
+    std::printf("resolution mode: %s, %d frame(s) per game\n",
+                fullRes() ? "paper-native" : "half-linear (set "
+                                             "PARGPU_FULLRES=1 for native)",
+                numFrames());
+    std::printf("================================================="
+                "=====================\n");
+}
+
+/** Geometric mean of a list of ratios. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+} // namespace pargpu::bench
+
+#endif // PARGPU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot kernels: texture
+ * filtering, the PATU hash table, the cache model and SSIM.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/afssim.hh"
+#include "core/hashtable.hh"
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "quality/ssim.hh"
+#include "texture/procedural.hh"
+#include "texture/sampler.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+const TextureMap &
+benchTexture()
+{
+    static TextureMap tex(512, 512,
+                          generateTexture(TextureKind::Noise, 512, 1));
+    return tex;
+}
+
+void
+BM_TrilinearSample(benchmark::State &state)
+{
+    TextureSampler s(benchTexture());
+    SplitMix64 rng(1);
+    for (auto _ : state) {
+        Vec2 uv{rng.nextFloat(), rng.nextFloat()};
+        benchmark::DoNotOptimize(s.trilinear(uv, 2.3f));
+    }
+}
+BENCHMARK(BM_TrilinearSample);
+
+void
+BM_AnisotropicFilter(benchmark::State &state)
+{
+    TextureSampler s(benchTexture());
+    float px = static_cast<float>(state.range(0));
+    AnisotropyInfo info =
+        s.computeAnisotropy({px / 512.0f, 0.0f}, {0.0f, 1.0f / 512.0f});
+    SplitMix64 rng(2);
+    for (auto _ : state) {
+        Vec2 uv{rng.nextFloat(), rng.nextFloat()};
+        benchmark::DoNotOptimize(s.filterAnisotropic(uv, info));
+    }
+    state.SetLabel("N=" + std::to_string(info.sampleSize));
+}
+BENCHMARK(BM_AnisotropicFilter)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_HashTableInsert(benchmark::State &state)
+{
+    SplitMix64 rng(3);
+    TexelAddressTable table;
+    for (auto _ : state) {
+        table.reset();
+        for (int i = 0; i < 16; ++i) {
+            TexelAddrSet set;
+            Addr base = 0x100 * (1 + rng.nextBounded(4));
+            for (int k = 0; k < 8; ++k)
+                set[k] = base + k * 4;
+            benchmark::DoNotOptimize(table.insert(set));
+        }
+    }
+}
+BENCHMARK(BM_HashTableInsert);
+
+void
+BM_AfSsimPrediction(benchmark::State &state)
+{
+    std::vector<float> p = {0.6f, 0.2f, 0.2f};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(afSsimFromSampleSize(8));
+        benchmark::DoNotOptimize(afSsimFromTxds(txds(p, 5)));
+    }
+}
+BENCHMARK(BM_AfSsimPrediction);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 16 * 1024;
+    cfg.assoc = 4;
+    SetAssocCache cache(cfg);
+    SplitMix64 rng(4);
+    for (auto _ : state) {
+        Addr a = rng.nextBounded(1 << 20) * 64;
+        benchmark::DoNotOptimize(cache.access(a));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SsimMap(benchmark::State &state)
+{
+    int dim = static_cast<int>(state.range(0));
+    Image a(dim, dim), b(dim, dim);
+    SplitMix64 rng(5);
+    for (int y = 0; y < dim; ++y) {
+        for (int x = 0; x < dim; ++x) {
+            float v = rng.nextFloat();
+            a.at(x, y) = Color4f{v, v, v, 1};
+            float w = std::min(1.0f, v + 0.05f * rng.nextFloat());
+            b.at(x, y) = Color4f{w, w, w, 1};
+        }
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ssimMap(a, b));
+    state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_SsimMap)->Arg(64)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

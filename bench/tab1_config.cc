@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table I reproduction: the baseline simulator configuration, printed
+ * from the live GpuConfig structure so the table can never drift from
+ * the code.
+ */
+
+#include <cstdio>
+
+#include "sim/config.hh"
+
+using namespace pargpu;
+
+int
+main()
+{
+    GpuConfig c;
+    std::printf("Table I: baseline simulator configuration\n");
+    std::printf("---------------------------------------------------\n");
+    std::printf("%-30s %g GHz\n", "Frequency", c.frequency_ghz);
+    std::printf("%-30s %u\n", "Number of clusters", c.clusters);
+    std::printf("%-30s %u\n", "Unified shaders per cluster",
+                c.shaders_per_cluster);
+    std::printf("%-30s SIMD%u-scale ALUs\n", "Shader configuration",
+                c.simd_width);
+    std::printf("%-30s %ux%u\n", "Tile size", c.tile_size, c.tile_size);
+    std::printf("%-30s %u per cluster\n", "Texture units",
+                c.texture_units);
+    std::printf("%-30s %u address ALUs, %u filtering ALUs\n",
+                "Texture unit configuration", c.addr_alus, c.filter_alus);
+    std::printf("%-30s %llu cycles per trilinear\n", "Texture throughput",
+                static_cast<unsigned long long>(c.cycles_per_trilinear));
+    std::printf("%-30s %llu KB, %u-way\n", "Texture L1 cache",
+                static_cast<unsigned long long>(c.mem.tc_size / 1024),
+                c.mem.tc_assoc);
+    std::printf("%-30s %llu KB, %u-way\n", "Texture L2 cache (LLC)",
+                static_cast<unsigned long long>(c.mem.llc_size / 1024),
+                c.mem.llc_assoc);
+    std::printf("%-30s %u bytes/cycle, %u channels, %u banks/channel\n",
+                "Memory configuration", c.mem.dram.bytes_per_cycle,
+                c.mem.dram.channels, c.mem.dram.banks);
+    std::printf("%-30s %d\n", "Max anisotropy", c.max_aniso);
+    return 0;
+}

@@ -1,0 +1,15 @@
+#include "common/stats.hh"
+
+namespace pargpu
+{
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : counters_)
+        os << name << " " << value << "\n";
+    for (const auto &[name, value] : scalars_)
+        os << name << " " << value << "\n";
+}
+
+} // namespace pargpu

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight named-statistics registry, modelled on simulator stats
+ * packages: components register counters under hierarchical dotted names and
+ * a harness can dump or query them after a run.
+ */
+
+#ifndef PARGPU_COMMON_STATS_HH
+#define PARGPU_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace pargpu
+{
+
+/**
+ * A flat registry of named 64-bit counters and double-valued scalars.
+ *
+ * Components hold a reference to the registry that owns their stats; tests
+ * and benches read values back by name. Not thread-safe by design: the
+ * simulator is single-threaded.
+ */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero if absent). */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set scalar @p name to @p value. */
+    void
+    set(const std::string &name, double value)
+    {
+        scalars_[name] = value;
+    }
+
+    /** Current value of counter @p name (0 if never incremented). */
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Current value of scalar @p name (0.0 if never set). */
+    double
+    scalar(const std::string &name) const
+    {
+        auto it = scalars_.find(name);
+        return it == scalars_.end() ? 0.0 : it->second;
+    }
+
+    /** True if a counter with this exact name exists. */
+    bool
+    hasCounter(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    /** Reset every counter and scalar to zero / remove them. */
+    void
+    reset()
+    {
+        counters_.clear();
+        scalars_.clear();
+    }
+
+    /** Dump all stats in "name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** All registered counters (sorted by name; for iteration in dumps). */
+    const std::map<std::string, std::uint64_t> &
+    counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_COMMON_STATS_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every pargpu subsystem.
+ */
+
+#ifndef PARGPU_COMMON_TYPES_HH
+#define PARGPU_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pargpu
+{
+
+/** Simulated clock cycle count (1 GHz baseline clock, Table I). */
+using Cycle = std::uint64_t;
+
+/** Simulated physical byte address in GPU memory space. */
+using Addr = std::uint64_t;
+
+/** Number of bytes moved across an interface. */
+using Bytes = std::uint64_t;
+
+/** Invalid / sentinel address. */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+} // namespace pargpu
+
+#endif // PARGPU_COMMON_TYPES_HH

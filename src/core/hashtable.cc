@@ -1,0 +1,65 @@
+#include "core/hashtable.hh"
+
+namespace pargpu
+{
+
+bool
+TexelAddressTable::insert(const TexelAddrSet &addrs)
+{
+    ++inserted_;
+    // Top-to-bottom associative compare, as in the hardware description.
+    for (int i = 0; i < valid_; ++i) {
+        if (entries_[i].addrs == addrs) {
+            // Saturating count tag (4 bits).
+            constexpr unsigned max_count = (1u << kCountBits) - 1;
+            if (entries_[i].count < max_count + 1)
+                ++entries_[i].count;
+            return true;
+        }
+    }
+    if (valid_ < capacity()) {
+        entries_[valid_].addrs = addrs;
+        entries_[valid_].count = 1;
+        ++valid_;
+    }
+    // At the baseline capacity (16 == maxAniso) the table can never
+    // overflow. With a smaller ablation table an overflowing sample is
+    // dropped from the distribution (conservative: lowers Txds accuracy,
+    // never causes false approximation).
+    return false;
+}
+
+std::vector<float>
+TexelAddressTable::probabilityVector() const
+{
+    std::vector<float> p;
+    if (inserted_ == 0)
+        return p;
+    float inv = 1.0f / static_cast<float>(inserted_);
+    int stored = 0;
+    for (int i = 0; i < valid_; ++i)
+        stored += static_cast<int>(entries_[i].count);
+    // Samples dropped by an overflowing (ablation-sized) table must be
+    // treated as distinct singleton events: assuming anything else would
+    // understate the entropy and approve AF approximations the full
+    // table would have rejected. This keeps undersized tables strictly
+    // conservative.
+    int dropped = inserted_ - stored;
+    p.reserve(static_cast<std::size_t>(valid_ + dropped));
+    for (int i = 0; i < valid_; ++i)
+        p.push_back(static_cast<float>(entries_[i].count) * inv);
+    for (int i = 0; i < dropped; ++i)
+        p.push_back(inv);
+    return p;
+}
+
+void
+TexelAddressTable::reset()
+{
+    valid_ = 0;
+    inserted_ = 0;
+    for (Entry &e : entries_)
+        e.count = 0;
+}
+
+} // namespace pargpu

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PATU hardware-overhead model (Section V-D).
+ *
+ * The paper sizes the added structures with McPAT/CACTI at 28 nm; this
+ * module reproduces the same accounting analytically: the dominant cost is
+ * the four 16-entry texel-address tables per texture unit (one per pixel of
+ * a quad), 260 bits per entry, ~2 KB per texture unit in total, about
+ * 0.15 mm^2 per unified shader cluster or 0.2 % of a 66 mm^2 GPU.
+ */
+
+#ifndef PARGPU_CORE_OVERHEAD_HH
+#define PARGPU_CORE_OVERHEAD_HH
+
+namespace pargpu
+{
+
+/** Inputs to the overhead estimate. */
+struct OverheadConfig
+{
+    int pipes_per_tu = 4;     ///< Filtering pipelines (pixels of a quad).
+    int table_entries = 16;   ///< Entries per table (max AF level).
+    int addrs_per_entry = 8;  ///< Texel addresses per trilinear sample.
+    int addr_bits = 32;       ///< Address width.
+    int count_bits = 4;       ///< Count-tag width.
+    int clusters = 4;         ///< Shader clusters (1 TU each).
+    double gpu_area_mm2 = 66.0;          ///< Total GPU area at 28 nm.
+    double sram_mm2_per_kb = 0.0735;     ///< 28 nm SRAM density (McPAT).
+    double logic_area_mm2 = 0.003;       ///< AF-SSIM compute logic per TU.
+};
+
+/** Derived overhead figures. */
+struct OverheadReport
+{
+    int bits_per_entry = 0;        ///< (8 x 32) + 4 = 260.
+    double table_bytes_per_tu = 0; ///< ~2 KB.
+    double area_mm2_per_cluster = 0; ///< ~0.15 mm^2.
+    double total_area_mm2 = 0;
+    double area_fraction = 0;      ///< vs. gpu_area_mm2 (~0.002).
+    int table_access_cycles = 1;   ///< CACTI: < 1 cycle at 1 GHz.
+};
+
+/** Compute the Section V-D overhead report. */
+OverheadReport computeOverhead(const OverheadConfig &config = {});
+
+} // namespace pargpu
+
+#endif // PARGPU_CORE_OVERHEAD_HH

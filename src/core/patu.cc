@@ -1,0 +1,159 @@
+#include "core/patu.hh"
+
+#include "core/afssim.hh"
+
+namespace pargpu
+{
+
+const char *
+scenarioName(DesignScenario s)
+{
+    switch (s) {
+      case DesignScenario::Baseline:
+        return "Baseline";
+      case DesignScenario::NoAF:
+        return "No-AF";
+      case DesignScenario::AfSsimN:
+        return "AF-SSIM(N)";
+      case DesignScenario::AfSsimNTxds:
+        return "AF-SSIM(N)+(Txds)";
+      case DesignScenario::Patu:
+        return "PATU";
+    }
+    return "?";
+}
+
+TexelAddrSet
+addrSetOf(const TrilinearSample &s)
+{
+    TexelAddrSet set;
+    for (int i = 0; i < 8; ++i)
+        set[i] = s.texels[i].addr;
+    return set;
+}
+
+float
+PatuUnit::approximatedLod(const AnisotropyInfo &info) const
+{
+    // Full PATU reuses AF's (finer) LOD for approximated pixels so that
+    // adjacent approximated / non-approximated surfaces sample the same
+    // mip level: no visible quality shift, and better texture-cache
+    // locality. The plain prediction scenarios exhibit the LOD shift the
+    // paper describes.
+    return config_.scenario == DesignScenario::Patu ? info.lodAF
+                                                    : info.lodTF;
+}
+
+PixelDecision
+PatuUnit::preDecide(const AnisotropyInfo &info)
+{
+    PixelDecision d;
+    // Eq. 6 operates on the anisotropy degree (the axis ratio), which is
+    // available right after Texel Generation — before the pipeline
+    // quantizes it to an issued sample count.
+    d.af_ssim_n = afSsimFromSampleSize(info.anisoDegree);
+    stats_.inc("patu.pixels");
+
+    // Scenario forcing: Baseline always filters AF, NoAF never does.
+    if (config_.scenario == DesignScenario::Baseline) {
+        d.approximate = false;
+        d.stage = DecisionStage::Forced;
+        d.lod = info.lodAF;
+        d.sample_size = info.sampleSize;
+        stats_.inc("patu.full_af");
+        return d;
+    }
+    if (config_.scenario == DesignScenario::NoAF) {
+        d.approximate = true;
+        d.stage = DecisionStage::Forced;
+        d.lod = info.lodTF;
+        d.sample_size = 1;
+        stats_.inc("patu.approx_forced");
+        return d;
+    }
+
+    // Trivial case: N == 1 means AF degenerates to one trilinear sample;
+    // such pixels bypass both checking stages (Section V-B).
+    if (info.sampleSize <= 1) {
+        d.approximate = true;
+        d.stage = DecisionStage::TrivialTf;
+        d.lod = info.lodTF;
+        d.sample_size = 1;
+        stats_.inc("patu.trivial_tf");
+        return d;
+    }
+
+    // Stage 1: sample-area similarity check.
+    if (d.af_ssim_n > config_.threshold) {
+        d.approximate = true;
+        d.stage = DecisionStage::SampleArea;
+        d.lod = approximatedLod(info);
+        d.sample_size = 1;
+        stats_.inc("patu.approx_stage1");
+        return d;
+    }
+
+    // Stage 2 runs only in the designs that include the distribution
+    // check; plain AF-SSIM(N) proceeds straight to full AF.
+    if (config_.scenario == DesignScenario::AfSsimN) {
+        d.approximate = false;
+        d.stage = DecisionStage::FullAf;
+        d.lod = info.lodAF;
+        d.sample_size = info.sampleSize;
+        stats_.inc("patu.full_af");
+        return d;
+    }
+
+    d.need_distribution = true;
+    d.lod = info.lodAF; // AF footprints are generated at AF's LOD.
+    d.sample_size = info.sampleSize;
+    return d;
+}
+
+void
+PatuUnit::finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
+                             const std::vector<TrilinearSample> &samples)
+{
+    d.need_distribution = false;
+
+    table_.reset();
+    for (const TrilinearSample &s : samples) {
+        bool shared = table_.insert(addrSetOf(s));
+        stats_.inc("patu.table.inserts");
+        if (shared)
+            stats_.inc("patu.table.shared_hits");
+    }
+
+    d.txds_value = txds(table_.probabilityVector(),
+                        static_cast<int>(samples.size()));
+    d.af_ssim_txds = afSsimFromTxds(d.txds_value);
+
+    if (d.af_ssim_txds > config_.threshold) {
+        d.approximate = true;
+        d.stage = DecisionStage::Distribution;
+        d.sample_size = 1;
+        d.lod = approximatedLod(info);
+        // The approximation controller sends the tag back to Texel Address
+        // Calculation to recalculate with sample size 1 (Section V-B).
+        stats_.inc("patu.approx_stage2");
+        stats_.inc("patu.addr_recalc");
+    } else {
+        d.approximate = false;
+        d.stage = DecisionStage::FullAf;
+        stats_.inc("patu.full_af");
+    }
+}
+
+int
+PatuUnit::countSharedSamples(const std::vector<TrilinearSample> &samples)
+{
+    TexelAddressTable t;
+    int shared = 0;
+    for (const TrilinearSample &s : samples) {
+        if (t.insert(addrSetOf(s)))
+            ++shared;
+    }
+    return shared;
+}
+
+} // namespace pargpu

@@ -1,0 +1,68 @@
+#include "harness/runner.hh"
+
+#include "common/logging.hh"
+
+namespace pargpu
+{
+
+double
+RunResult::mssimAgainst(const std::vector<Image> &reference) const
+{
+    if (images.empty() || images.size() != reference.size())
+        fatal("mssimAgainst: image sets unavailable or mismatched");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < images.size(); ++i)
+        acc += mssim(reference[i], images[i]);
+    return acc / static_cast<double>(images.size());
+}
+
+GpuConfig
+makeGpuConfig(const RunConfig &config)
+{
+    GpuConfig g;
+    g.max_aniso = config.max_aniso;
+    g.mem.tc_scale = config.tc_scale;
+    g.mem.llc_scale = config.llc_scale;
+    g.patu.scenario = config.scenario;
+    g.patu.threshold = config.threshold;
+    g.patu.max_aniso = config.max_aniso;
+    return g;
+}
+
+RunResult
+runTrace(const GameTrace &trace, const RunConfig &config)
+{
+    RunResult result;
+    GpuSimulator sim(makeGpuConfig(config));
+
+    double cycles = 0.0, power = 0.0;
+    for (const Camera &cam : trace.cameras) {
+        FrameOutput out =
+            sim.renderFrame(trace.scene, cam, trace.width, trace.height);
+        EnergyBreakdown e = computeEnergy(out.stats);
+        result.total_energy_nj += e.total_nj();
+        power += averagePowerW(e, out.stats);
+        cycles += static_cast<double>(out.stats.total_cycles);
+        result.frames.push_back(out.stats);
+        if (config.keep_images)
+            result.images.push_back(std::move(out.image));
+    }
+    const double n = static_cast<double>(result.frames.size());
+    if (n > 0) {
+        result.avg_cycles = cycles / n;
+        result.avg_power_w = power / n;
+    }
+    return result;
+}
+
+std::vector<Cycle>
+frameCycles(const RunResult &run)
+{
+    std::vector<Cycle> c;
+    c.reserve(run.frames.size());
+    for (const FrameStats &f : run.frames)
+        c.push_back(f.total_cycles);
+    return c;
+}
+
+} // namespace pargpu

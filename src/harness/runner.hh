@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment runner: renders a game trace under a design scenario and
+ * aggregates the measurements every bench and example consumes.
+ */
+
+#ifndef PARGPU_HARNESS_RUNNER_HH
+#define PARGPU_HARNESS_RUNNER_HH
+
+#include <vector>
+
+#include "power/energy.hh"
+#include "quality/ssim.hh"
+#include "scenes/scenes.hh"
+#include "sim/pipeline.hh"
+
+namespace pargpu
+{
+
+/** One experimental condition. */
+struct RunConfig
+{
+    DesignScenario scenario = DesignScenario::Baseline;
+    float threshold = 0.4f;   ///< Unified AF-SSIM threshold.
+    unsigned tc_scale = 1;    ///< Texture-cache capacity multiplier.
+    unsigned llc_scale = 1;   ///< LLC capacity multiplier.
+    int max_aniso = 16;
+    bool keep_images = true;  ///< Retain rendered frames (for SSIM).
+};
+
+/** Aggregated results of rendering all frames of a trace. */
+struct RunResult
+{
+    std::vector<FrameStats> frames;
+    std::vector<Image> images;     ///< Empty if keep_images was false.
+    double avg_cycles = 0.0;       ///< Mean frame time (cycles).
+    double total_energy_nj = 0.0;  ///< Sum over frames (GPU + DRAM).
+    double avg_power_w = 0.0;      ///< Mean of per-frame average power.
+
+    /** Mean MSSIM of this run's frames against @p reference frames. */
+    double mssimAgainst(const std::vector<Image> &reference) const;
+};
+
+/** Build the GpuConfig for a run condition. */
+GpuConfig makeGpuConfig(const RunConfig &config);
+
+/** Render every frame of @p trace under @p config. */
+RunResult runTrace(const GameTrace &trace, const RunConfig &config);
+
+/** Frame times of a run, for the replay/vsync model. */
+std::vector<Cycle> frameCycles(const RunResult &run);
+
+/**
+ * Sum a FrameStats field across frames (convenience for benches).
+ */
+template <typename T>
+double
+sumOver(const std::vector<FrameStats> &frames, T FrameStats::*field)
+{
+    double acc = 0.0;
+    for (const FrameStats &f : frames)
+        acc += static_cast<double>(f.*field);
+    return acc;
+}
+
+} // namespace pargpu
+
+#endif // PARGPU_HARNESS_RUNNER_HH

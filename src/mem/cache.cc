@@ -1,0 +1,100 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace pargpu
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : config_(config)
+{
+    if (config_.line_bytes == 0 || !isPow2(config_.line_bytes))
+        fatal("cache line size must be a power of two");
+    if (config_.assoc == 0)
+        fatal("cache associativity must be positive");
+    Bytes lines = config_.size_bytes / config_.line_bytes;
+    if (lines == 0 || lines % config_.assoc != 0)
+        fatal("cache size must be a multiple of assoc * line size");
+    num_sets_ = static_cast<unsigned>(lines / config_.assoc);
+    if (!isPow2(num_sets_))
+        fatal("cache set count must be a power of two");
+    lines_.resize(lines);
+}
+
+unsigned
+SetAssocCache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / config_.line_bytes) &
+                                 (num_sets_ - 1));
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr / config_.line_bytes / num_sets_;
+}
+
+bool
+SetAssocCache::access(Addr addr)
+{
+    unsigned set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    ++use_clock_;
+
+    Line *victim = base;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.last_use = use_clock_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.last_use < victim->last_use) {
+            victim = &line;
+        }
+    }
+
+    // Miss: fill into the invalid way if any, else the LRU way.
+    victim->valid = true;
+    victim->tag = tag;
+    victim->last_use = use_clock_;
+    ++misses_;
+    return false;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    unsigned set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    use_clock_ = 0;
+}
+
+} // namespace pargpu

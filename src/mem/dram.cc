@@ -1,0 +1,114 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pargpu
+{
+
+DramModel::DramModel(const DramConfig &config, unsigned views)
+    : config_(config), views_(views),
+      banks_(static_cast<std::size_t>(config.channels) * config.banks),
+      bank_until_(static_cast<std::size_t>(views) * config.channels *
+                      config.banks,
+                  0),
+      bus_until_(static_cast<std::size_t>(views) * config.channels, 0)
+{
+    if (config_.channels == 0 || config_.banks == 0)
+        fatal("DRAM must have at least one channel and bank");
+    if (config_.bytes_per_cycle == 0)
+        fatal("DRAM bandwidth must be positive");
+    if (views_ == 0)
+        fatal("DRAM must have at least one timing view");
+}
+
+unsigned
+DramModel::channelOf(Addr addr) const
+{
+    // Line-interleaved across channels for bandwidth spreading.
+    return static_cast<unsigned>((addr / config_.line_bytes) %
+                                 config_.channels);
+}
+
+unsigned
+DramModel::bankOf(Addr addr) const
+{
+    return static_cast<unsigned>(
+        (addr / (config_.line_bytes * config_.channels)) % config_.banks);
+}
+
+Addr
+DramModel::rowOf(Addr addr) const
+{
+    return addr / (config_.row_bytes * config_.channels * config_.banks);
+}
+
+DramResult
+DramModel::read(Addr addr, Cycle now, unsigned view)
+{
+    if (view >= views_)
+        panic("DRAM read on unknown timing view");
+    unsigned ch = channelOf(addr);
+    unsigned bk = bankOf(addr);
+    Bank &bank = banks_[static_cast<std::size_t>(ch) * config_.banks + bk];
+    Cycle &bank_until =
+        bank_until_[(static_cast<std::size_t>(view) * config_.channels +
+                     ch) *
+                        config_.banks +
+                    bk];
+    Cycle &bus_until =
+        bus_until_[static_cast<std::size_t>(view) * config_.channels + ch];
+    Addr row = rowOf(addr);
+
+    DramResult r;
+    r.row_hit = bank.open_row == row;
+
+    // The bank is occupied for the row access; the channel data bus only
+    // for the burst transfer once the data is ready. Queueing appears
+    // only when this requester genuinely oversubscribes a bank or bus.
+    Cycle start = std::max(now, bank_until);
+    Cycle access = r.row_hit ? config_.t_cas : config_.t_row_miss;
+    Cycle transfer = (config_.line_bytes + config_.bytes_per_cycle - 1) /
+        config_.bytes_per_cycle;
+    Cycle data_ready = start + access;
+    Cycle bus_start = std::max(data_ready, bus_until);
+    r.complete = config_.t_base + bus_start + transfer;
+
+    bank.open_row = row;
+    bank_until = data_ready;
+    bus_until = bus_start + transfer;
+
+    ++reads_;
+    if (r.row_hit)
+        ++row_hits_;
+    bytes_read_ += config_.line_bytes;
+    return r;
+}
+
+void
+DramModel::write(Addr addr, Bytes bytes, Cycle now, unsigned view)
+{
+    if (view >= views_)
+        panic("DRAM write on unknown timing view");
+    // Buffered writes: consume channel bandwidth without stalling the
+    // requester. Spread the burst across the addressed channel.
+    unsigned ch = channelOf(addr);
+    Cycle &bus_until =
+        bus_until_[static_cast<std::size_t>(view) * config_.channels + ch];
+    Cycle transfer = (bytes + config_.bytes_per_cycle - 1) /
+        config_.bytes_per_cycle;
+    bus_until = std::max(bus_until, now) + transfer;
+    bytes_written_ += bytes;
+}
+
+void
+DramModel::resetState()
+{
+    for (Bank &b : banks_)
+        b = Bank{};
+    std::fill(bank_until_.begin(), bank_until_.end(), Cycle{0});
+    std::fill(bus_until_.begin(), bus_until_.end(), Cycle{0});
+}
+
+} // namespace pargpu

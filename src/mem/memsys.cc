@@ -1,0 +1,110 @@
+#include "mem/memsys.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace pargpu
+{
+
+MemorySystem::MemorySystem(const MemSysConfig &config)
+    : config_(config)
+{
+    if (config_.clusters == 0)
+        fatal("memory system needs at least one cluster");
+
+    CacheConfig tc;
+    tc.size_bytes = config_.tc_size * config_.tc_scale;
+    tc.assoc = config_.tc_assoc;
+    tc.line_bytes = config_.line_bytes;
+    for (unsigned c = 0; c < config_.clusters; ++c)
+        tex_l1_.push_back(std::make_unique<SetAssocCache>(tc));
+
+    CacheConfig l2;
+    l2.size_bytes = config_.llc_size * config_.llc_scale;
+    l2.assoc = config_.llc_assoc;
+    l2.line_bytes = config_.line_bytes;
+    llc_ = std::make_unique<SetAssocCache>(l2);
+
+    // One DRAM timing view per cluster plus one for the geometry engine
+    // (which runs on its own front-end clock).
+    dram_ = std::make_unique<DramModel>(config_.dram, config_.clusters + 1);
+}
+
+Cycle
+MemorySystem::read(unsigned cluster, Addr addr, Cycle now, TrafficClass cls)
+{
+    // Geometry traffic runs on the front-end clock: give it the extra
+    // DRAM timing view so it cannot interfere with cluster timelines.
+    unsigned view = cls == TrafficClass::Geometry ? config_.clusters
+                                                  : cluster;
+    if (cls == TrafficClass::Texture) {
+        if (tex_l1_[cluster]->access(addr))
+            return now + config_.latencies.l1_hit;
+        now += config_.latencies.l1_hit; // L1 lookup before going down.
+    }
+    if (llc_->access(addr))
+        return now + config_.latencies.l2_hit;
+    now += config_.latencies.l2_hit; // L2 lookup before DRAM.
+
+    DramResult r = dram_->read(addr, now, view);
+    traffic_[static_cast<int>(cls)] += config_.line_bytes;
+    return r.complete;
+}
+
+void
+MemorySystem::write(Addr addr, Bytes bytes, Cycle now, TrafficClass cls)
+{
+    unsigned view = cls == TrafficClass::Geometry ? config_.clusters : 0;
+    dram_->write(addr, bytes, now, view);
+    traffic_[static_cast<int>(cls)] += bytes;
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &l1 : tex_l1_)
+        l1->flush();
+    llc_->flush();
+    dram_->resetState();
+    traffic_[0] = traffic_[1] = traffic_[2] = 0;
+}
+
+Bytes
+MemorySystem::trafficBytes(TrafficClass cls) const
+{
+    return traffic_[static_cast<int>(cls)];
+}
+
+Bytes
+MemorySystem::totalTrafficBytes() const
+{
+    return traffic_[0] + traffic_[1] + traffic_[2];
+}
+
+void
+MemorySystem::exportStats(StatRegistry &stats,
+                          const std::string &prefix) const
+{
+    std::uint64_t l1_hits = 0, l1_misses = 0;
+    for (const auto &l1 : tex_l1_) {
+        l1_hits += l1->hits();
+        l1_misses += l1->misses();
+    }
+    stats.inc(prefix + ".tex_l1.hits", l1_hits);
+    stats.inc(prefix + ".tex_l1.misses", l1_misses);
+    stats.inc(prefix + ".llc.hits", llc_->hits());
+    stats.inc(prefix + ".llc.misses", llc_->misses());
+    stats.inc(prefix + ".dram.reads", dram_->reads());
+    stats.inc(prefix + ".dram.row_hits", dram_->rowHits());
+    stats.inc(prefix + ".dram.bytes_read", dram_->bytesRead());
+    stats.inc(prefix + ".dram.bytes_written", dram_->bytesWritten());
+    stats.inc(prefix + ".traffic.texture",
+              trafficBytes(TrafficClass::Texture));
+    stats.inc(prefix + ".traffic.color_depth",
+              trafficBytes(TrafficClass::ColorDepth));
+    stats.inc(prefix + ".traffic.geometry",
+              trafficBytes(TrafficClass::Geometry));
+}
+
+} // namespace pargpu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The GPU memory system: per-cluster texture L1 caches, a shared L2 (the
+ * LLC) and DRAM, with traffic-class accounting so benches can reproduce the
+ * paper's bandwidth breakdowns (Fig. 6) and cache-scaling study (Fig. 21).
+ */
+
+#ifndef PARGPU_MEM_MEMSYS_HH
+#define PARGPU_MEM_MEMSYS_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace pargpu
+{
+
+/** Who generated a memory access; drives bandwidth breakdowns. */
+enum class TrafficClass
+{
+    Texture,    ///< Texel fetches from the texture units.
+    ColorDepth, ///< Framebuffer color/depth traffic.
+    Geometry,   ///< Vertex/index fetches.
+};
+
+/** Fixed access latencies of the on-chip hierarchy. */
+struct MemLatencies
+{
+    Cycle l1_hit = 4;   ///< Texture L1 hit.
+    Cycle l2_hit = 28;  ///< L2 hit (beyond the L1 lookup).
+};
+
+/** Memory-system geometry; scale factors support the Fig. 21 sweep. */
+struct MemSysConfig
+{
+    unsigned clusters = 4;          ///< Texture L1 instances.
+    Bytes tc_size = 16 * 1024;      ///< Texture L1 capacity (Table I).
+    unsigned tc_assoc = 4;
+    Bytes llc_size = 128 * 1024;    ///< Shared L2 capacity (Table I).
+    unsigned llc_assoc = 8;
+    unsigned line_bytes = 64;
+    unsigned tc_scale = 1;          ///< Texture-cache capacity multiplier.
+    unsigned llc_scale = 1;         ///< LLC capacity multiplier.
+    MemLatencies latencies;
+    DramConfig dram;
+};
+
+/**
+ * The full texture/framebuffer memory hierarchy.
+ *
+ * Timed reads walk L1 (texture class only) then L2 then DRAM; writes are
+ * bandwidth-accounted only. All traffic is tallied per TrafficClass so the
+ * analysis layer can split DRAM bandwidth the way Fig. 6 does.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemSysConfig &config);
+
+    /**
+     * Timed read of the line containing @p addr.
+     *
+     * @param cluster  Requesting shader cluster (selects the texture L1).
+     * @param addr     Byte address.
+     * @param now      Issue cycle.
+     * @param cls      Traffic class for accounting.
+     * @return Cycle at which the data is available.
+     */
+    Cycle read(unsigned cluster, Addr addr, Cycle now, TrafficClass cls);
+
+    /** Bandwidth-only write (framebuffer flush, etc.). */
+    void write(Addr addr, Bytes bytes, Cycle now, TrafficClass cls);
+
+    /** Reset caches, DRAM state and traffic tallies for a fresh run. */
+    void reset();
+
+    /** DRAM bytes moved (read + write) for @p cls. */
+    Bytes trafficBytes(TrafficClass cls) const;
+
+    /** Total DRAM bytes moved across all classes. */
+    Bytes totalTrafficBytes() const;
+
+    const SetAssocCache &textureL1(unsigned cluster) const
+    { return *tex_l1_[cluster]; }
+    const SetAssocCache &llc() const { return *llc_; }
+    const DramModel &dram() const { return *dram_; }
+    const MemSysConfig &config() const { return config_; }
+
+    /** Dump cache/DRAM stats into @p stats under @p prefix. */
+    void exportStats(StatRegistry &stats, const std::string &prefix) const;
+
+  private:
+    MemSysConfig config_;
+    std::vector<std::unique_ptr<SetAssocCache>> tex_l1_;
+    std::unique_ptr<SetAssocCache> llc_;
+    std::unique_ptr<DramModel> dram_;
+    Bytes traffic_[3] = {0, 0, 0};
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_MEM_MEMSYS_HH

@@ -1,0 +1,51 @@
+#include "power/energy.hh"
+
+namespace pargpu
+{
+
+EnergyBreakdown
+computeEnergy(const FrameStats &stats, const EnergyParams &params)
+{
+    EnergyBreakdown e;
+    auto nj = [](double pj) { return pj * 1e-3; };
+
+    e.shader_nj = nj(static_cast<double>(stats.shader_busy_cycles) *
+                     params.shader_cycle_pj);
+    e.filter_nj = nj(static_cast<double>(stats.trilinear_samples) *
+                         params.trilinear_pj +
+                     static_cast<double>(stats.addr_ops) *
+                         params.addr_op_pj);
+    e.table_nj = nj(static_cast<double>(stats.table_accesses) *
+                    params.table_access_pj);
+
+    double l1_accesses =
+        static_cast<double>(stats.l1_hits) + stats.l1_misses;
+    double llc_accesses =
+        static_cast<double>(stats.llc_hits) + stats.llc_misses;
+    e.cache_nj = nj(l1_accesses * params.l1_access_pj +
+                    llc_accesses * params.llc_access_pj);
+
+    double dram_bytes = static_cast<double>(stats.totalTraffic());
+    double row_misses =
+        static_cast<double>(stats.dram_reads) - stats.dram_row_hits;
+    e.dram_nj = nj(dram_bytes * params.dram_byte_pj +
+                   row_misses * params.dram_row_act_pj);
+
+    e.static_nj = nj(static_cast<double>(stats.total_cycles) *
+                     (params.gpu_leak_pj_per_cycle +
+                      params.dram_back_pj_per_cycle));
+    return e;
+}
+
+double
+averagePowerW(const EnergyBreakdown &e, const FrameStats &stats,
+              double freq_ghz)
+{
+    if (stats.total_cycles == 0)
+        return 0.0;
+    double seconds =
+        static_cast<double>(stats.total_cycles) / (freq_ghz * 1e9);
+    return e.total_nj() * 1e-9 / seconds;
+}
+
+} // namespace pargpu

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GPU + DRAM energy model, the analysis-layer counterpart of the paper's
+ * McPAT/Micron-based flow.
+ *
+ * The model is activity-based: per-event dynamic energies (28 nm ballpark
+ * figures in picojoules) applied to the simulator's FrameStats counters,
+ * plus leakage/background power proportional to frame time. Fig. 20's
+ * result — PATU cuts total energy mainly by finishing frames sooner, with a
+ * small dynamic-power increase from higher texel throughput — falls out of
+ * exactly this structure.
+ */
+
+#ifndef PARGPU_POWER_ENERGY_HH
+#define PARGPU_POWER_ENERGY_HH
+
+#include "sim/pipeline.hh"
+
+namespace pargpu
+{
+
+/** Per-event dynamic energies (pJ) and static power (pJ/cycle). */
+struct EnergyParams
+{
+    // Dynamic, per event.
+    double shader_cycle_pj = 260.0;  ///< Active shader-cluster cycle.
+    double trilinear_pj = 42.0;      ///< One trilinear filter operation.
+    double addr_op_pj = 3.0;         ///< One texel-address calculation.
+    double table_access_pj = 9.0;    ///< PATU hash-table insert (2 KB SRAM).
+    double l1_access_pj = 11.0;      ///< Texture L1 access (16 KB).
+    double llc_access_pj = 40.0;     ///< L2/LLC access (128 KB).
+    double dram_byte_pj = 16.0;      ///< DRAM read/write per byte.
+    double dram_row_act_pj = 1500.0; ///< Row activation (per row miss).
+
+    // Static / background, per cycle at 1 GHz.
+    double gpu_leak_pj_per_cycle = 900.0;   ///< Core + cache leakage.
+    double dram_back_pj_per_cycle = 320.0;  ///< DRAM background/refresh.
+};
+
+/** Energy breakdown for one frame (nanojoules). */
+struct EnergyBreakdown
+{
+    double shader_nj = 0.0;
+    double filter_nj = 0.0;   ///< Texture filtering + address ALUs.
+    double table_nj = 0.0;    ///< PATU hash table.
+    double cache_nj = 0.0;    ///< L1 + LLC.
+    double dram_nj = 0.0;     ///< DRAM dynamic.
+    double static_nj = 0.0;   ///< GPU leakage + DRAM background.
+
+    double
+    total_nj() const
+    {
+        return shader_nj + filter_nj + table_nj + cache_nj + dram_nj +
+            static_nj;
+    }
+};
+
+/**
+ * Compute the energy of one rendered frame from its statistics.
+ */
+EnergyBreakdown computeEnergy(const FrameStats &stats,
+                              const EnergyParams &params = {});
+
+/** Average power in watts for a frame at @p freq_ghz. */
+double averagePowerW(const EnergyBreakdown &e, const FrameStats &stats,
+                     double freq_ghz = 1.0);
+
+} // namespace pargpu
+
+#endif // PARGPU_POWER_ENERGY_HH

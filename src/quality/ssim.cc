@@ -1,0 +1,182 @@
+#include "quality/ssim.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pargpu
+{
+
+namespace
+{
+
+// Normalized 1-D Gaussian kernel of odd diameter.
+std::vector<float>
+gaussianKernel(int window, float sigma)
+{
+    std::vector<float> k(window);
+    int half = window / 2;
+    float sum = 0.0f;
+    for (int i = 0; i < window; ++i) {
+        float d = static_cast<float>(i - half);
+        k[i] = std::exp(-(d * d) / (2.0f * sigma * sigma));
+        sum += k[i];
+    }
+    for (float &v : k)
+        v /= sum;
+    return k;
+}
+
+// Separable Gaussian blur with edge truncation + renormalization. Because
+// the 2-D kernel is a separable product, renormalizing each axis
+// independently equals renormalizing the truncated 2-D kernel.
+void
+blur(const std::vector<float> &src, int w, int h,
+     const std::vector<float> &kernel, std::vector<float> &tmp,
+     std::vector<float> &dst)
+{
+    const int window = static_cast<int>(kernel.size());
+    const int half = window / 2;
+
+    // Horizontal pass.
+    for (int y = 0; y < h; ++y) {
+        const float *row = &src[static_cast<std::size_t>(y) * w];
+        float *out = &tmp[static_cast<std::size_t>(y) * w];
+        for (int x = 0; x < w; ++x) {
+            float acc = 0.0f, wsum = 0.0f;
+            int lo = x - half < 0 ? -x : -half;
+            int hi = x + half >= w ? w - 1 - x : half;
+            for (int d = lo; d <= hi; ++d) {
+                float kv = kernel[d + half];
+                acc += kv * row[x + d];
+                wsum += kv;
+            }
+            out[x] = acc / wsum;
+        }
+    }
+
+    // Vertical pass.
+    for (int y = 0; y < h; ++y) {
+        float *out = &dst[static_cast<std::size_t>(y) * w];
+        int lo = y - half < 0 ? -y : -half;
+        int hi = y + half >= h ? h - 1 - y : half;
+        for (int x = 0; x < w; ++x) {
+            float acc = 0.0f, wsum = 0.0f;
+            for (int d = lo; d <= hi; ++d) {
+                float kv = kernel[d + half];
+                acc += kv * tmp[static_cast<std::size_t>(y + d) * w + x];
+                wsum += kv;
+            }
+            out[x] = acc / wsum;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<float>
+ssimMap(const Image &x, const Image &y, const SsimParams &params)
+{
+    if (x.width() != y.width() || x.height() != y.height())
+        fatal("ssimMap: image dimensions differ");
+    if (params.window < 1 || params.window % 2 == 0)
+        fatal("ssimMap: window must be odd and positive");
+
+    const int w = x.width();
+    const int h = x.height();
+    const std::size_t n = static_cast<std::size_t>(w) * h;
+
+    std::vector<float> lx = x.lumaPlane();
+    std::vector<float> ly = y.lumaPlane();
+
+    std::vector<float> xx(n), yy(n), xy(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xx[i] = lx[i] * lx[i];
+        yy[i] = ly[i] * ly[i];
+        xy[i] = lx[i] * ly[i];
+    }
+
+    std::vector<float> kernel = gaussianKernel(params.window, params.sigma);
+    std::vector<float> tmp(n);
+    std::vector<float> mu_x(n), mu_y(n), m_xx(n), m_yy(n), m_xy(n);
+    blur(lx, w, h, kernel, tmp, mu_x);
+    blur(ly, w, h, kernel, tmp, mu_y);
+    blur(xx, w, h, kernel, tmp, m_xx);
+    blur(yy, w, h, kernel, tmp, m_yy);
+    blur(xy, w, h, kernel, tmp, m_xy);
+
+    const float c1 = (params.k1 * params.range) * (params.k1 * params.range);
+    const float c2 = (params.k2 * params.range) * (params.k2 * params.range);
+
+    std::vector<float> map(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        float mx = mu_x[i], my = mu_y[i];
+        float var_x = m_xx[i] - mx * mx;
+        float var_y = m_yy[i] - my * my;
+        float cov = m_xy[i] - mx * my;
+        float num = (2.0f * mx * my + c1) * (2.0f * cov + c2);
+        float den = (mx * mx + my * my + c1) * (var_x + var_y + c2);
+        map[i] = num / den;
+    }
+    return map;
+}
+
+double
+mssim(const Image &x, const Image &y, const SsimParams &params)
+{
+    return mssimOfMap(ssimMap(x, y, params));
+}
+
+double
+mssimOfMap(const std::vector<float> &map)
+{
+    if (map.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (float v : map)
+        sum += v;
+    return sum / static_cast<double>(map.size());
+}
+
+Image
+ssimMapImage(const std::vector<float> &map, int width, int height)
+{
+    if (map.size() != static_cast<std::size_t>(width) * height)
+        fatal("ssimMapImage: map size does not match dimensions");
+    Image img(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            float v = map[static_cast<std::size_t>(y) * width + x];
+            float g = v < 0.0f ? 0.0f : v;
+            img.at(x, y) = Color4f{g, g, g, 1.0f};
+        }
+    }
+    return img;
+}
+
+double
+mse(const Image &x, const Image &y)
+{
+    if (x.width() != y.width() || x.height() != y.height())
+        fatal("mse: image dimensions differ");
+    std::vector<float> lx = x.lumaPlane();
+    std::vector<float> ly = y.lumaPlane();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < lx.size(); ++i) {
+        double d = static_cast<double>(lx[i]) - ly[i];
+        acc += d * d;
+    }
+    return lx.empty() ? 0.0 : acc / static_cast<double>(lx.size());
+}
+
+double
+psnr(const Image &x, const Image &y)
+{
+    double m = mse(x, y);
+    if (m <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / m);
+}
+
+} // namespace pargpu

@@ -1,0 +1,44 @@
+#include "replay/replay.hh"
+
+#include <algorithm>
+
+namespace pargpu
+{
+
+ReplayResult
+simulateReplay(const std::vector<Cycle> &frame_cycles,
+               const ReplayConfig &config)
+{
+    ReplayResult r;
+    if (frame_cycles.empty())
+        return r;
+
+    const Cycle interval = config.refreshCycles();
+    const Cycle cpu = static_cast<Cycle>(
+        static_cast<double>(interval) * config.cpu_fraction);
+
+    double fps_sum = 0.0;
+    r.min_fps = 1e30;
+    r.max_fps = 0.0;
+    std::size_t lagged = 0;
+
+    for (Cycle gpu : frame_cycles) {
+        Cycle frame_time = cpu + gpu;
+        int refreshes = static_cast<int>(
+            (frame_time + interval - 1) / interval);
+        refreshes = std::max(1, refreshes);
+        r.refreshes_per_frame.push_back(refreshes);
+        double fps = config.refresh_hz / refreshes;
+        fps_sum += fps;
+        r.min_fps = std::min(r.min_fps, fps);
+        r.max_fps = std::max(r.max_fps, fps);
+        if (refreshes > 1)
+            ++lagged;
+    }
+    r.avg_fps = fps_sum / static_cast<double>(frame_cycles.size());
+    r.lag_fraction =
+        static_cast<double>(lagged) / frame_cycles.size();
+    return r;
+}
+
+} // namespace pargpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Game-replay timing model: the paper's MATLAB vertical-synchronization
+ * playback (Section VI, analysis layer).
+ *
+ * Frames are displayed at 60 Hz refresh boundaries; a frame that is not
+ * complete within the refresh interval stalls to the next boundary (the
+ * user perceives motion lag). A fixed CPU latency of half the refresh
+ * interval is charged per frame, so the GPU budget per refresh is ~8.33
+ * million cycles at 1 GHz.
+ */
+
+#ifndef PARGPU_REPLAY_REPLAY_HH
+#define PARGPU_REPLAY_REPLAY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pargpu
+{
+
+/** Vertical-synchronization parameters. */
+struct ReplayConfig
+{
+    double refresh_hz = 60.0;      ///< Monitor refresh rate.
+    double frequency_ghz = 1.0;    ///< GPU clock.
+    /** CPU latency per frame, as a fraction of the refresh interval. */
+    double cpu_fraction = 0.5;
+
+    /** Refresh interval in GPU cycles. */
+    Cycle
+    refreshCycles() const
+    {
+        return static_cast<Cycle>(frequency_ghz * 1e9 / refresh_hz);
+    }
+};
+
+/** Result of replaying a frame sequence under vsync. */
+struct ReplayResult
+{
+    double avg_fps = 0.0;   ///< Displayed frames per second.
+    double min_fps = 0.0;   ///< Worst instantaneous frame rate.
+    double max_fps = 0.0;   ///< Best instantaneous frame rate.
+    double lag_fraction = 0.0; ///< Fraction of frames missing one refresh.
+    std::vector<int> refreshes_per_frame; ///< Refresh intervals consumed.
+};
+
+/**
+ * Replay a sequence of frame render times under vertical synchronization.
+ *
+ * @param frame_cycles  GPU cycles per frame.
+ * @param config        Refresh parameters.
+ */
+ReplayResult simulateReplay(const std::vector<Cycle> &frame_cycles,
+                            const ReplayConfig &config = {});
+
+} // namespace pargpu
+
+#endif // PARGPU_REPLAY_REPLAY_HH

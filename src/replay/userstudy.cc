@@ -1,0 +1,52 @@
+#include "replay/userstudy.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace pargpu
+{
+
+double
+performanceWeight(int width, int height)
+{
+    // Higher pixel counts mean heavier frames and more visible motion lag,
+    // shifting user preference toward performance (Fig. 22 discussion).
+    double mpix = static_cast<double>(width) * height / 1e6;
+    double w = 0.25 + 0.25 * std::min(2.0, mpix);
+    return std::clamp(w, 0.25, 0.75);
+}
+
+double
+perceivedQuality(double mssim, const UserStudyConfig &config)
+{
+    // Linear ramp between floor and saturation, flat outside.
+    double q = (mssim - config.mssim_floor) /
+        (config.mssim_saturation - config.mssim_floor);
+    return std::clamp(q, 0.0, 1.0);
+}
+
+double
+satisfactionScore(const ReplayCondition &condition,
+                  const UserStudyConfig &config)
+{
+    double q = perceivedQuality(condition.mssim, config);
+
+    // Smoothness: fps against target, with an extra penalty for frames
+    // that visibly miss refreshes (stutter is worse than uniform slowness).
+    double p = std::clamp(condition.avg_fps / config.target_fps, 0.0, 1.0);
+    p *= 1.0 - 0.25 * std::clamp(condition.lag_fraction, 0.0, 1.0);
+
+    double wp = performanceWeight(condition.width, condition.height);
+    double base = 1.0 + 4.0 * ((1.0 - wp) * q + wp * p);
+
+    SplitMix64 rng(config.seed);
+    double sum = 0.0;
+    for (int i = 0; i < config.raters; ++i) {
+        double s = base + config.noise_sigma * rng.nextGaussian();
+        sum += std::clamp(s, 1.0, 5.0);
+    }
+    return sum / std::max(1, config.raters);
+}
+
+} // namespace pargpu

@@ -1,0 +1,80 @@
+#include "scenes/meshes.hh"
+
+namespace pargpu
+{
+
+Mesh
+makeGrid(const Vec3 &origin, const Vec3 &eu, const Vec3 &ev,
+         int nu, int nv, float u_scale, float v_scale, int texture_id)
+{
+    Mesh m;
+    m.texture_id = texture_id;
+    m.vertices.reserve(static_cast<std::size_t>(nu + 1) * (nv + 1));
+    for (int j = 0; j <= nv; ++j) {
+        for (int i = 0; i <= nu; ++i) {
+            float s = static_cast<float>(i) / nu;
+            float t = static_cast<float>(j) / nv;
+            Vertex v;
+            v.pos = origin + eu * s + ev * t;
+            v.uv = Vec2{s * u_scale, t * v_scale};
+            m.vertices.push_back(v);
+        }
+    }
+    auto idx = [nu](int i, int j) {
+        return static_cast<std::uint32_t>(j * (nu + 1) + i);
+    };
+    for (int j = 0; j < nv; ++j) {
+        for (int i = 0; i < nu; ++i) {
+            // Two CCW triangles per cell (against the eu x ev normal).
+            m.indices.push_back(idx(i, j));
+            m.indices.push_back(idx(i + 1, j));
+            m.indices.push_back(idx(i + 1, j + 1));
+            m.indices.push_back(idx(i, j));
+            m.indices.push_back(idx(i + 1, j + 1));
+            m.indices.push_back(idx(i, j + 1));
+        }
+    }
+    return m;
+}
+
+void
+appendBox(Mesh &mesh, const Vec3 &center, const Vec3 &half,
+          float uv_scale)
+{
+    struct Face
+    {
+        Vec3 origin, eu, ev;
+    };
+    const float hx = half.x, hy = half.y, hz = half.z;
+    const Face faces[6] = {
+        // +Z (front)
+        {{-hx, -hy, hz}, {2 * hx, 0, 0}, {0, 2 * hy, 0}},
+        // -Z (back)
+        {{hx, -hy, -hz}, {-2 * hx, 0, 0}, {0, 2 * hy, 0}},
+        // +X (right)
+        {{hx, -hy, hz}, {0, 0, -2 * hz}, {0, 2 * hy, 0}},
+        // -X (left)
+        {{-hx, -hy, -hz}, {0, 0, 2 * hz}, {0, 2 * hy, 0}},
+        // +Y (top)
+        {{-hx, hy, hz}, {2 * hx, 0, 0}, {0, 0, -2 * hz}},
+        // -Y (bottom)
+        {{-hx, -hy, -hz}, {2 * hx, 0, 0}, {0, 0, 2 * hz}},
+    };
+    for (const Face &f : faces) {
+        Mesh face = makeGrid(center + f.origin, f.eu, f.ev, 1, 1,
+                             uv_scale, uv_scale, mesh.texture_id);
+        appendMesh(mesh, face);
+    }
+}
+
+void
+appendMesh(Mesh &dst, const Mesh &src)
+{
+    std::uint32_t base = static_cast<std::uint32_t>(dst.vertices.size());
+    dst.vertices.insert(dst.vertices.end(), src.vertices.begin(),
+                        src.vertices.end());
+    for (std::uint32_t i : src.indices)
+        dst.indices.push_back(base + i);
+}
+
+} // namespace pargpu

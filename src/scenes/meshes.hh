@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Mesh construction helpers for the procedural game scenes.
+ */
+
+#ifndef PARGPU_SCENES_MESHES_HH
+#define PARGPU_SCENES_MESHES_HH
+
+#include "sim/geometry.hh"
+
+namespace pargpu
+{
+
+/**
+ * Build a tessellated parallelogram grid.
+ *
+ * Vertices span origin + s * eu + t * ev for s, t in [0, 1], subdivided
+ * into nu x nv quads (two triangles each). Texture coordinates run from
+ * (0, 0) to (u_scale, v_scale), so u_scale/v_scale control texel density.
+ *
+ * Triangle winding is counter-clockwise when viewed against the grid
+ * normal eu x ev.
+ */
+Mesh makeGrid(const Vec3 &origin, const Vec3 &eu, const Vec3 &ev,
+              int nu, int nv, float u_scale, float v_scale, int texture_id);
+
+/**
+ * Append an axis-aligned box (6 faces, outward-facing) to @p mesh.
+ *
+ * @param mesh      Destination mesh.
+ * @param center    Box center.
+ * @param half      Half extents.
+ * @param uv_scale  Texture repeats per face.
+ */
+void appendBox(Mesh &mesh, const Vec3 &center, const Vec3 &half,
+               float uv_scale);
+
+/** Merge @p src into @p dst (rebasing indices). */
+void appendMesh(Mesh &dst, const Mesh &src);
+
+} // namespace pargpu
+
+#endif // PARGPU_SCENES_MESHES_HH

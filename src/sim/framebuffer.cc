@@ -1,0 +1,50 @@
+#include "sim/framebuffer.hh"
+
+#include <limits>
+
+#include "sim/config.hh"
+
+namespace pargpu
+{
+
+Framebuffer::Framebuffer(int width, int height)
+    : color_(width, height),
+      depth_(static_cast<std::size_t>(width) * height,
+             std::numeric_limits<float>::infinity())
+{
+}
+
+void
+Framebuffer::clear(const Color4f &c)
+{
+    for (Color4f &px : color_.pixels())
+        px = c;
+    for (float &d : depth_)
+        d = std::numeric_limits<float>::infinity();
+}
+
+bool
+Framebuffer::depthTest(int x, int y, float depth)
+{
+    float &stored = depth_[static_cast<std::size_t>(y) * width() + x];
+    if (depth < stored) {
+        stored = depth;
+        return true;
+    }
+    return false;
+}
+
+float
+Framebuffer::depthAt(int x, int y) const
+{
+    return depth_[static_cast<std::size_t>(y) * width() + x];
+}
+
+Addr
+Framebuffer::pixelAddr(int x, int y) const
+{
+    return AddressMap::kFramebufferBase +
+        (static_cast<Addr>(y) * width() + x) * 4;
+}
+
+} // namespace pargpu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Color + depth framebuffer for the simulated GPU.
+ */
+
+#ifndef PARGPU_SIM_FRAMEBUFFER_HH
+#define PARGPU_SIM_FRAMEBUFFER_HH
+
+#include <vector>
+
+#include "common/image.hh"
+#include "common/types.hh"
+
+namespace pargpu
+{
+
+/**
+ * A width x height color image plus a float depth buffer (smaller value =
+ * nearer; cleared to +inf equivalent).
+ */
+class Framebuffer
+{
+  public:
+    Framebuffer(int width, int height);
+
+    int width() const { return color_.width(); }
+    int height() const { return color_.height(); }
+
+    /** Clear color to @p c and depth to the far value. */
+    void clear(const Color4f &c);
+
+    /**
+     * Depth-test-and-set: returns true (and stores @p depth) if @p depth is
+     * nearer than the stored value.
+     */
+    bool depthTest(int x, int y, float depth);
+
+    /** Read-only depth value at (x, y). */
+    float depthAt(int x, int y) const;
+
+    /** Write a shaded pixel. */
+    void writeColor(int x, int y, const Color4f &c) { color_.at(x, y) = c; }
+
+    const Image &color() const { return color_; }
+    Image &color() { return color_; }
+
+    /** Byte address of pixel (x, y) in the simulated framebuffer region. */
+    Addr pixelAddr(int x, int y) const;
+
+  private:
+    Image color_;
+    std::vector<float> depth_;
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_SIM_FRAMEBUFFER_HH

@@ -1,0 +1,270 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/framebuffer.hh"
+#include "sim/raster.hh"
+
+namespace pargpu
+{
+
+namespace
+{
+
+/** Fixed directional light used for flat face shading. */
+const Vec3 kLightDir = Vec3{0.4f, 0.8f, 0.45f}.normalized();
+
+/** Per-face lighting factor from the world-space normal. */
+float
+faceShade(const Vec3 &p0, const Vec3 &p1, const Vec3 &p2)
+{
+    Vec3 n = (p1 - p0).cross(p2 - p0).normalized();
+    float d = std::fabs(n.dot(kLightDir));
+    return 0.35f + 0.65f * d;
+}
+
+} // namespace
+
+GpuSimulator::GpuSimulator(const GpuConfig &config)
+    : config_(config)
+{
+    MemSysConfig mc = config_.mem;
+    mc.clusters = config_.clusters;
+    mem_ = std::make_unique<MemorySystem>(mc);
+    for (unsigned c = 0; c < config_.clusters; ++c)
+        tus_.push_back(std::make_unique<TextureUnit>(config_, c, *mem_));
+}
+
+FrameOutput
+GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
+                          int width, int height)
+{
+    if (width <= 0 || height <= 0)
+        fatal("renderFrame: viewport must be positive");
+
+    mem_->reset();
+    for (auto &tu : tus_)
+        tu->resetStats();
+
+    Framebuffer fb(width, height);
+    fb.clear(scene.clear_color);
+
+    FrameStats fs;
+    const unsigned tile = config_.tile_size;
+    const int tiles_x = (width + tile - 1) / tile;
+    const int tiles_y = (height + tile - 1) / tile;
+    const unsigned shader_parallelism =
+        config_.clusters * config_.shaders_per_cluster;
+
+    std::vector<Cycle> cluster_cycles(config_.clusters, 0);
+    Cycle geometry_cycles = 0;
+
+    // Scratch bins: triangle indices per tile, rebuilt per draw call so
+    // draw order (and therefore depth-test order) is preserved.
+    std::vector<std::vector<std::uint32_t>> bins(
+        static_cast<std::size_t>(tiles_x) * tiles_y);
+    std::vector<SetupTriangle> tris;
+
+    Addr vertex_addr = AddressMap::kVertexBase;
+
+    for (const DrawCall &draw : scene.draws) {
+        const Mesh &mesh = draw.mesh;
+        const TextureMap &tex = *scene.textures[mesh.texture_id];
+        const Mat4 mvp = camera.proj * camera.view * draw.model;
+
+        // --- Vertex processing ------------------------------------------
+        // Fetch vertex data (geometry traffic) and charge shader time.
+        Bytes vbytes = mesh.vertices.size() * kVertexBytes;
+        const Bytes line = mem_->config().line_bytes;
+        for (Bytes off = 0; off < vbytes; off += line) {
+            mem_->read(0, vertex_addr + off, geometry_cycles,
+                       TrafficClass::Geometry);
+        }
+        vertex_addr += (vbytes + line - 1) / line * line;
+        geometry_cycles += mesh.vertices.size() * config_.vertex_cycles /
+            std::max(1u, shader_parallelism) + 1;
+
+        // --- Primitive assembly / clip / cull ----------------------------
+        tris.clear();
+        for (std::size_t t = 0; t + 2 < mesh.indices.size(); t += 3) {
+            Vertex tv[3];
+            Vec3 wp[3];
+            for (int k = 0; k < 3; ++k) {
+                tv[k] = mesh.vertices[mesh.indices[t + k]];
+                Vec4 w = draw.model * Vec4{tv[k].pos, 1.0f};
+                wp[k] = w.xyz();
+            }
+            ++fs.triangles_in;
+            float shade = faceShade(wp[0], wp[1], wp[2]);
+            setupTriangles(tv, mvp, shade, mesh.texture_id, draw.filter,
+                           draw.backface_cull, width, height, tris,
+                           draw.specular);
+        }
+        fs.triangles_setup += tris.size();
+        geometry_cycles += (mesh.indices.size() / 3) *
+            config_.tri_setup_cycles / std::max(1u, config_.clusters) + 1;
+
+        // --- Tiling engine ------------------------------------------------
+        for (auto &bin : bins)
+            bin.clear();
+        for (std::uint32_t ti = 0; ti < tris.size(); ++ti) {
+            const SetupTriangle &st = tris[ti];
+            int tx0 = st.min_x / static_cast<int>(tile);
+            int tx1 = st.max_x / static_cast<int>(tile);
+            int ty0 = st.min_y / static_cast<int>(tile);
+            int ty1 = st.max_y / static_cast<int>(tile);
+            for (int ty = ty0; ty <= ty1; ++ty)
+                for (int tx = tx0; tx <= tx1; ++tx)
+                    bins[static_cast<std::size_t>(ty) * tiles_x + tx]
+                        .push_back(ti);
+        }
+
+        // --- Fragment phase ----------------------------------------------
+        for (int ty = 0; ty < tiles_y; ++ty) {
+            for (int tx = 0; tx < tiles_x; ++tx) {
+                const auto &bin =
+                    bins[static_cast<std::size_t>(ty) * tiles_x + tx];
+                if (bin.empty())
+                    continue;
+                unsigned cl = static_cast<unsigned>(ty * tiles_x + tx) %
+                    config_.clusters;
+                Cycle &cc = cluster_cycles[cl];
+                TextureUnit &tu = *tus_[cl];
+
+                int px0 = tx * static_cast<int>(tile);
+                int py0 = ty * static_cast<int>(tile);
+                int px1 = std::min(width - 1,
+                                   px0 + static_cast<int>(tile) - 1);
+                int py1 = std::min(height - 1,
+                                   py0 + static_cast<int>(tile) - 1);
+
+                std::uint64_t tile_pixels = 0;
+
+                for (std::uint32_t ti : bin) {
+                    const SetupTriangle &st = tris[ti];
+                    int wx0 = std::max(px0, st.min_x);
+                    int wy0 = std::max(py0, st.min_y);
+                    int wx1 = std::min(px1, st.max_x);
+                    int wy1 = std::min(py1, st.max_y);
+                    if (wx0 > wx1 || wy0 > wy1)
+                        continue;
+
+                    rasterizeTriangle(st, wx0, wy0, wx1, wy1,
+                        [&](const QuadFragment &quad) {
+                            // Early depth test per covered pixel.
+                            QuadFragment q = quad;
+                            unsigned surv = 0;
+                            for (int i = 0; i < 4; ++i) {
+                                if (!(q.coverage & (1u << i)))
+                                    continue;
+                                int px = q.x + (i & 1);
+                                int py = q.y + (i >> 1);
+                                if (fb.depthTest(px, py, q.depth[i]))
+                                    surv |= 1u << i;
+                            }
+                            cc += config_.raster_quad_cycles;
+                            if (surv == 0)
+                                return;
+                            q.coverage = surv;
+
+                            QuadFilterResult qr = tu.processQuad(
+                                q, tex, st.filter, cc);
+
+                            // Shader and texture work overlap partially:
+                            // the quad costs the longer of the two plus
+                            // the unhidden part of the shorter.
+                            Cycle shader_c = config_.frag_quad_cycles;
+                            Cycle lo = std::min(shader_c, qr.busy);
+                            Cycle hi = std::max(shader_c, qr.busy);
+                            cc += hi + static_cast<Cycle>(
+                                (1.0 - config_.tex_overlap) *
+                                static_cast<double>(lo));
+                            fs.shader_busy_cycles += shader_c;
+
+                            for (int i = 0; i < 4; ++i) {
+                                if (!(surv & (1u << i)))
+                                    continue;
+                                int px = q.x + (i & 1);
+                                int py = q.y + (i >> 1);
+                                Color4f c = qr.color[i] * st.shade;
+                                if (st.specular) {
+                                    // Glint: steep nonlinear response to
+                                    // the filtered luma (ripple/gloss
+                                    // highlights). The threshold sits
+                                    // above the texture mean, so only
+                                    // sharply-filtered peaks fire — mip
+                                    // blur pushes the luma below it and
+                                    // the effect disappears (Fig. 8's
+                                    // lost water rippling).
+                                    float l = qr.color[i].luma();
+                                    float g = std::clamp(
+                                        (l - 0.70f) / 0.08f, 0.0f, 1.0f);
+                                    g = g * g * (3.0f - 2.0f * g);
+                                    c += Color4f{0.95f, 0.95f, 0.85f, 0}
+                                        * (0.9f * g);
+                                }
+                                c.a = 1.0f;
+                                fb.writeColor(px, py, c.clamped());
+                                ++tile_pixels;
+                            }
+                        });
+                }
+
+                // Tile flush: color (4 B/pixel) once per tile per draw.
+                if (tile_pixels > 0) {
+                    mem_->write(fb.pixelAddr(px0, py0), tile_pixels * 4,
+                                cc, TrafficClass::ColorDepth);
+                }
+            }
+        }
+    }
+
+    // --- Collect statistics -----------------------------------------------
+    fs.geometry_cycles = geometry_cycles;
+    fs.fragment_cycles =
+        *std::max_element(cluster_cycles.begin(), cluster_cycles.end());
+    fs.total_cycles = fs.geometry_cycles + fs.fragment_cycles;
+    fs.shader_busy_cycles += geometry_cycles;
+
+    for (const auto &tu : tus_) {
+        const TexUnitStats &ts = tu->stats();
+        fs.texture_filter_cycles += ts.filter_busy;
+        fs.texture_mem_stall += ts.mem_stall;
+        fs.quads += ts.quads;
+        fs.pixels_shaded += ts.pixels;
+        fs.trilinear_samples += ts.trilinear_samples;
+        fs.texels += ts.texels;
+        fs.addr_ops += ts.addr_ops;
+        fs.table_accesses += ts.table_accesses;
+        fs.af_candidate_pixels += ts.af_candidate_pixels;
+        fs.approx_stage1 += ts.approx_stage1;
+        fs.approx_stage2 += ts.approx_stage2;
+        fs.full_af += ts.full_af;
+        fs.trivial_tf += ts.trivial_tf;
+        fs.af_input_samples += ts.af_input_samples;
+        fs.shared_samples += ts.shared_samples;
+        fs.divergent_quads += ts.divergent_quads;
+        fs.af_quads += ts.af_quads;
+    }
+
+    fs.traffic_texture = mem_->trafficBytes(TrafficClass::Texture);
+    fs.traffic_colordepth = mem_->trafficBytes(TrafficClass::ColorDepth);
+    fs.traffic_geometry = mem_->trafficBytes(TrafficClass::Geometry);
+    for (unsigned c = 0; c < config_.clusters; ++c) {
+        fs.l1_hits += mem_->textureL1(c).hits();
+        fs.l1_misses += mem_->textureL1(c).misses();
+    }
+    fs.llc_hits = mem_->llc().hits();
+    fs.llc_misses = mem_->llc().misses();
+    fs.dram_reads = mem_->dram().reads();
+    fs.dram_row_hits = mem_->dram().rowHits();
+
+    FrameOutput out;
+    out.image = fb.color();
+    out.stats = fs;
+    return out;
+}
+
+} // namespace pargpu

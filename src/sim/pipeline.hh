@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The top-level GPU simulator: the paper's Fig. 2 rendering architecture.
+ *
+ * A frame flows through vertex processing, primitive assembly with
+ * near-plane clipping and back-face culling, the tiling engine (16x16
+ * tiles scheduled round-robin across shader clusters), rasterization into
+ * 2x2 quads, early depth test, and fragment processing with texture
+ * filtering through the (PATU-extended) texture units. Timing is
+ * cycle-approximate: each cluster owns a cycle counter advanced by the
+ * slower of shader and texture work per quad, and the frame time is the
+ * geometry front-end plus the slowest cluster.
+ */
+
+#ifndef PARGPU_SIM_PIPELINE_HH
+#define PARGPU_SIM_PIPELINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/image.hh"
+#include "common/types.hh"
+#include "mem/memsys.hh"
+#include "sim/config.hh"
+#include "sim/geometry.hh"
+#include "sim/texunit.hh"
+
+namespace pargpu
+{
+
+/** Aggregated per-frame measurements. */
+struct FrameStats
+{
+    // --- Time ---------------------------------------------------------
+    Cycle total_cycles = 0;          ///< Frame render time.
+    Cycle geometry_cycles = 0;       ///< Front-end (vertex/setup/binning).
+    Cycle fragment_cycles = 0;       ///< Slowest cluster's fragment phase.
+    Cycle texture_filter_cycles = 0; ///< Total TU busy time (Fig. 18).
+    Cycle texture_mem_stall = 0;     ///< Exposed texel-fetch stall.
+    Cycle shader_busy_cycles = 0;    ///< Shader ALU time (energy input).
+
+    // --- Work ----------------------------------------------------------
+    std::uint64_t triangles_in = 0;    ///< Submitted triangles.
+    std::uint64_t triangles_setup = 0; ///< Survived clip/cull.
+    std::uint64_t quads = 0;
+    std::uint64_t pixels_shaded = 0;
+    std::uint64_t trilinear_samples = 0;
+    std::uint64_t texels = 0;
+    std::uint64_t addr_ops = 0;
+    std::uint64_t table_accesses = 0;
+
+    // --- PATU decisions --------------------------------------------------
+    std::uint64_t af_candidate_pixels = 0;
+    std::uint64_t approx_stage1 = 0;
+    std::uint64_t approx_stage2 = 0;
+    std::uint64_t full_af = 0;
+    std::uint64_t trivial_tf = 0;
+    std::uint64_t af_input_samples = 0;
+    std::uint64_t shared_samples = 0;
+    std::uint64_t divergent_quads = 0;
+    std::uint64_t af_quads = 0;
+
+    // --- Memory ----------------------------------------------------------
+    Bytes traffic_texture = 0;
+    Bytes traffic_colordepth = 0;
+    Bytes traffic_geometry = 0;
+    std::uint64_t l1_hits = 0, l1_misses = 0;
+    std::uint64_t llc_hits = 0, llc_misses = 0;
+    std::uint64_t dram_reads = 0, dram_row_hits = 0;
+
+    /** Frames per second at @p freq_ghz, from total_cycles. */
+    double
+    fps(double freq_ghz = 1.0) const
+    {
+        return total_cycles == 0
+            ? 0.0
+            : freq_ghz * 1e9 / static_cast<double>(total_cycles);
+    }
+
+    /** Total DRAM traffic in bytes. */
+    Bytes
+    totalTraffic() const
+    {
+        return traffic_texture + traffic_colordepth + traffic_geometry;
+    }
+};
+
+/** A rendered frame plus its measurements. */
+struct FrameOutput
+{
+    Image image;
+    FrameStats stats;
+};
+
+/**
+ * The simulator. Construct once per configuration; renderFrame() may be
+ * called repeatedly (caches and DRAM state are reset per frame so every
+ * frame is measured independently).
+ */
+class GpuSimulator
+{
+  public:
+    explicit GpuSimulator(const GpuConfig &config);
+
+    /** Render @p scene from @p camera into a width x height frame. */
+    FrameOutput renderFrame(const Scene &scene, const Camera &camera,
+                            int width, int height);
+
+    const GpuConfig &config() const { return config_; }
+    const MemorySystem &mem() const { return *mem_; }
+
+  private:
+    GpuConfig config_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::vector<std::unique_ptr<TextureUnit>> tus_;
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_SIM_PIPELINE_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Triangle setup and rasterization.
+ *
+ * The rasterizer walks 2x2 pixel quads (the texture unit's basic processing
+ * unit, Section V-B) inside the intersection of a triangle's bounding box
+ * and the current tile. All four pixels of a quad receive perspective-
+ * correct texture coordinates — including uncovered "helper" pixels — so
+ * per-quad screen-space derivatives can be formed by differencing, exactly
+ * as hardware derives them for LOD/anisotropy computation.
+ */
+
+#ifndef PARGPU_SIM_RASTER_HH
+#define PARGPU_SIM_RASTER_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/vec.hh"
+#include "sim/geometry.hh"
+
+namespace pargpu
+{
+
+/** A post-projection vertex ready for rasterization. */
+struct ScreenVertex
+{
+    float x = 0.0f;     ///< Screen-space x (pixels).
+    float y = 0.0f;     ///< Screen-space y (pixels, top-down).
+    float z = 0.0f;     ///< Depth in [0, 1] (0 = near).
+    float inv_w = 0.0f; ///< 1 / clip-space w.
+    float u_w = 0.0f;   ///< u * inv_w (perspective-correct numerator).
+    float v_w = 0.0f;   ///< v * inv_w.
+};
+
+/** A triangle after setup: screen vertices + interpolation constants. */
+struct SetupTriangle
+{
+    ScreenVertex v[3];
+    float inv_area = 0.0f; ///< 1 / twice the signed screen area.
+    float shade = 1.0f;    ///< Per-face lighting factor.
+    int texture_id = 0;
+    FilterMode filter = FilterMode::Anisotropic;
+    bool specular = false; ///< Glint pass (see DrawCall::specular).
+    int min_x = 0, min_y = 0, max_x = 0, max_y = 0; ///< Inclusive bbox.
+};
+
+/** One 2x2 quad of fragments emitted by the rasterizer. */
+struct QuadFragment
+{
+    int x = 0;             ///< Top-left pixel x (even).
+    int y = 0;             ///< Top-left pixel y (even).
+    unsigned coverage = 0; ///< Bits 0..3: (+0,+0) (+1,+0) (+0,+1) (+1,+1).
+    Vec2 uv[4];            ///< Perspective-correct uv at all 4 centers.
+    float depth[4] = {0, 0, 0, 0};
+    Vec2 duvdx;            ///< Per-quad derivative d(uv)/dx.
+    Vec2 duvdy;            ///< Per-quad derivative d(uv)/dy.
+};
+
+/**
+ * Transform, near-clip, cull and set up one object-space triangle.
+ *
+ * @param tri         The three vertices.
+ * @param mvp         Combined model-view-projection matrix.
+ * @param shade       Face lighting factor to carry through.
+ * @param texture_id  Texture binding.
+ * @param filter      Filtering mode of the draw call.
+ * @param cull        Enable back-face culling.
+ * @param vp_w        Viewport width (pixels).
+ * @param vp_h        Viewport height (pixels).
+ * @param out         Receives 0..2 setup triangles (near clip can split).
+ * @param specular    Glint-pass flag carried to the fragment shader.
+ * @return Number of triangles appended.
+ */
+int setupTriangles(const Vertex tri[3], const Mat4 &mvp, float shade,
+                   int texture_id, FilterMode filter, bool cull,
+                   int vp_w, int vp_h, std::vector<SetupTriangle> &out,
+                   bool specular = false);
+
+/** Edge function: twice the signed area of (a, b, p). */
+inline float
+edgeFunction(float ax, float ay, float bx, float by, float px, float py)
+{
+    return (px - ax) * (by - ay) - (py - ay) * (bx - ax);
+}
+
+/**
+ * Rasterize @p tri over pixels [x0, x1] x [y0, y1] (inclusive, normally a
+ * tile clipped to the triangle bbox), invoking @p emit for every 2x2 quad
+ * with at least one covered pixel.
+ *
+ * @tparam EmitFn  Callable taking (const QuadFragment &).
+ */
+template <typename EmitFn>
+void
+rasterizeTriangle(const SetupTriangle &tri, int x0, int y0, int x1, int y1,
+                  EmitFn &&emit)
+{
+    // Quad-align the walk window.
+    int qx0 = x0 & ~1;
+    int qy0 = y0 & ~1;
+
+    const ScreenVertex &a = tri.v[0];
+    const ScreenVertex &b = tri.v[1];
+    const ScreenVertex &c = tri.v[2];
+
+    for (int qy = qy0; qy <= y1; qy += 2) {
+        for (int qx = qx0; qx <= x1; qx += 2) {
+            QuadFragment quad;
+            quad.x = qx;
+            quad.y = qy;
+
+            bool any = false;
+            for (int i = 0; i < 4; ++i) {
+                int px = qx + (i & 1);
+                int py = qy + (i >> 1);
+                float cx = px + 0.5f;
+                float cy = py + 0.5f;
+
+                float e0 = edgeFunction(b.x, b.y, c.x, c.y, cx, cy);
+                float e1 = edgeFunction(c.x, c.y, a.x, a.y, cx, cy);
+                float w0 = e0 * tri.inv_area;
+                float w1 = e1 * tri.inv_area;
+                float w2 = 1.0f - w0 - w1;
+
+                // Attributes are evaluated for every pixel of the quad
+                // (extrapolated outside the triangle) so derivatives exist
+                // even at partially-covered quads.
+                float inv_w = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w;
+                float u_w = w0 * a.u_w + w1 * b.u_w + w2 * c.u_w;
+                float v_w = w0 * a.v_w + w1 * b.v_w + w2 * c.v_w;
+                float rcp = inv_w != 0.0f ? 1.0f / inv_w : 0.0f;
+                quad.uv[i] = Vec2{u_w * rcp, v_w * rcp};
+                quad.depth[i] = w0 * a.z + w1 * b.z + w2 * c.z;
+
+                bool inside = w0 >= 0.0f && w1 >= 0.0f && w2 >= 0.0f;
+                bool in_window = px >= x0 && px <= x1 &&
+                    py >= y0 && py <= y1;
+                if (inside && in_window) {
+                    quad.coverage |= 1u << i;
+                    any = true;
+                }
+            }
+            if (!any)
+                continue;
+
+            quad.duvdx = quad.uv[1] - quad.uv[0];
+            quad.duvdy = quad.uv[2] - quad.uv[0];
+            emit(quad);
+        }
+    }
+}
+
+} // namespace pargpu
+
+#endif // PARGPU_SIM_RASTER_HH

@@ -1,0 +1,35 @@
+#include "sim/stereo.hh"
+
+namespace pargpu
+{
+
+Camera
+stereoEye(const Camera &center, int eye_index, const StereoConfig &config)
+{
+    Camera eye = center;
+    float offset = (eye_index == 0 ? -0.5f : 0.5f) * config.ipd;
+    // The view matrix maps world to view space; shifting the eye right by
+    // `offset` along the camera's x axis equals translating view space by
+    // -offset in x, i.e., adding it to the view matrix's x translation.
+    eye.view.m[3][0] -= offset;
+    // Track the world-space eye position for consumers that use it: the
+    // camera's world x axis is the first row of the rotation part.
+    eye.eye.x += offset * center.view.m[0][0];
+    eye.eye.y += offset * center.view.m[1][0];
+    eye.eye.z += offset * center.view.m[2][0];
+    return eye;
+}
+
+StereoFrame
+renderStereo(GpuSimulator &sim, const Scene &scene, const Camera &center,
+             int width, int height, const StereoConfig &config)
+{
+    StereoFrame frame;
+    frame.left = sim.renderFrame(scene, stereoEye(center, 0, config),
+                                 width, height);
+    frame.right = sim.renderFrame(scene, stereoEye(center, 1, config),
+                                  width, height);
+    return frame;
+}
+
+} // namespace pargpu

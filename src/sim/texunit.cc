@@ -1,0 +1,211 @@
+#include "sim/texunit.hh"
+
+#include <algorithm>
+
+namespace pargpu
+{
+
+TextureUnit::TextureUnit(const GpuConfig &config, unsigned cluster,
+                         MemorySystem &mem)
+    : config_(config), cluster_(cluster), mem_(&mem), patu_(config.patu)
+{
+}
+
+Cycle
+TextureUnit::fetchSample(const TrilinearSample &s, Cycle now)
+{
+    // Texels within a sample frequently share cache lines (tiled layout);
+    // the fetch unit coalesces them, so issue one timed read per unique
+    // line address in the footprint.
+    const Bytes line = mem_->config().line_bytes;
+    Addr lines[8];
+    int n_lines = 0;
+    for (const TexelRef &t : s.texels) {
+        Addr la = t.addr / line * line;
+        bool seen = false;
+        for (int i = 0; i < n_lines; ++i)
+            seen |= lines[i] == la;
+        if (!seen)
+            lines[n_lines++] = la;
+    }
+    Cycle done = now;
+    for (int i = 0; i < n_lines; ++i) {
+        Cycle c = mem_->read(cluster_, lines[i], now,
+                             TrafficClass::Texture);
+        done = std::max(done, c);
+    }
+    stats_.texels += 8;
+    ++stats_.trilinear_samples;
+    return done;
+}
+
+QuadFilterResult
+TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
+                         FilterMode mode, Cycle now)
+{
+    QuadFilterResult result;
+    ++stats_.quads;
+
+    TextureSampler sampler(tex);
+    AnisotropyInfo info = sampler.computeAnisotropy(
+        quad.duvdx, quad.duvdy, config_.max_aniso);
+
+    PixelPlan plans[4];
+    // Stored AF footprints per pixel, when the decision requires them.
+    std::vector<TrilinearSample> footprints[4];
+
+    bool any_af_pixel = false;
+    bool any_approx = false;
+    bool any_keep = false;
+    Cycle fetch_done = now; ///< Furthest fetch completion in the quad.
+
+    for (int i = 0; i < 4; ++i) {
+        if (!(quad.coverage & (1u << i)))
+            continue;
+        PixelPlan &plan = plans[i];
+        plan.active = true;
+        ++stats_.pixels;
+
+        if (mode != FilterMode::Anisotropic) {
+            // Isotropic draw calls: one trilinear sample (bilinear uses
+            // LOD 0, which degenerates to a single-level footprint).
+            float lod = mode == FilterMode::Bilinear ? 0.0f : info.lodTF;
+            FilterResult fr = sampler.filterTrilinear(quad.uv[i], lod);
+            plan.color = fr.color;
+            plan.fetch_samples = 1;
+            plan.addr_samples = 1;
+            fetch_done = std::max(fetch_done,
+                                  fetchSample(fr.samples[0], now));
+            continue;
+        }
+
+        // Anisotropic path with the PATU decision flow (Fig. 13).
+        if (info.sampleSize > 1) {
+            ++stats_.af_candidate_pixels;
+            any_af_pixel = true;
+        }
+
+        PixelDecision d = patu_.preDecide(info);
+
+        if (d.need_distribution) {
+            // Texel Address Calculation for all N samples, fed into the
+            // hash table as each sample's addresses complete (overlapped
+            // with address calculation, Section V-B).
+            footprints[i] =
+                sampler.filterAnisotropic(quad.uv[i], info).samples;
+            plan.addr_samples = static_cast<int>(footprints[i].size());
+            stats_.table_accesses += footprints[i].size();
+            patu_.finishDistribution(d, info, footprints[i]);
+        }
+
+        plan.approximate = d.approximate;
+        plan.stage = d.stage;
+
+        switch (d.stage) {
+          case DecisionStage::TrivialTf:
+            ++stats_.trivial_tf;
+            break;
+          case DecisionStage::SampleArea:
+            ++stats_.approx_stage1;
+            break;
+          case DecisionStage::Distribution:
+            ++stats_.approx_stage2;
+            break;
+          case DecisionStage::FullAf:
+            ++stats_.full_af;
+            break;
+          case DecisionStage::Forced:
+            if (d.approximate)
+                ++stats_.trivial_tf;
+            else
+                ++stats_.full_af;
+            break;
+        }
+
+        if (d.approximate) {
+            any_approx = any_approx || info.sampleSize > 1;
+            // TF at the decision's LOD. Stage-2 approximations pay one
+            // extra address-recalculation loop (Section V-B).
+            FilterResult fr = sampler.filterTrilinear(quad.uv[i], d.lod);
+            plan.color = fr.color;
+            plan.fetch_samples = 1;
+            plan.addr_samples += 1;
+            fetch_done = std::max(fetch_done,
+                                  fetchSample(fr.samples[0], now));
+        } else {
+            any_keep = any_keep || info.sampleSize > 1;
+            if (footprints[i].empty()) {
+                // Baseline / AF-SSIM(N) kept AF without running the
+                // distribution stage: compute the footprints now.
+                FilterResult fr =
+                    sampler.filterAnisotropic(quad.uv[i], info);
+                plan.color = fr.color;
+                footprints[i] = std::move(fr.samples);
+                plan.addr_samples =
+                    static_cast<int>(footprints[i].size());
+            } else {
+                // Reuse the footprints from the distribution check.
+                Color4f acc{0, 0, 0, 0};
+                float inv =
+                    1.0f / static_cast<float>(footprints[i].size());
+                for (const TrilinearSample &s : footprints[i])
+                    acc += s.color * inv;
+                plan.color = acc;
+            }
+            plan.fetch_samples = static_cast<int>(footprints[i].size());
+            for (const TrilinearSample &s : footprints[i])
+                fetch_done = std::max(fetch_done, fetchSample(s, now));
+        }
+    }
+
+    // --- Timing -----------------------------------------------------
+    // Address ALUs: 8 addresses per trilinear sample over addr_alus ALUs
+    // per pixel pipeline; the four pipelines run in lockstep so the quad
+    // pays the slowest pixel. Filtering likewise at 2 cycles per sample.
+    Cycle addr_cycles = 0, filter_cycles = 0;
+    for (const PixelPlan &plan : plans) {
+        if (!plan.active)
+            continue;
+        Cycle a = static_cast<Cycle>(plan.addr_samples) *
+            (8 / config_.addr_alus);
+        Cycle f = static_cast<Cycle>(plan.fetch_samples) *
+            config_.cycles_per_trilinear;
+        addr_cycles = std::max(addr_cycles, a);
+        filter_cycles = std::max(filter_cycles, f);
+        stats_.addr_ops +=
+            static_cast<std::uint64_t>(plan.addr_samples) * 8;
+    }
+
+    // Fetch latency beyond the TU's in-flight window stalls the pipeline.
+    Cycle raw_latency = fetch_done - now;
+    Cycle stall = raw_latency > config_.mem_overlap_credit
+        ? raw_latency - config_.mem_overlap_credit : 0;
+    stats_.mem_stall += stall;
+
+    Cycle busy = addr_cycles + filter_cycles + stall;
+
+    // Divergence accounting (Section V-C(1)).
+    if (any_af_pixel) {
+        ++stats_.af_quads;
+        if (any_approx && any_keep)
+            ++stats_.divergent_quads;
+    }
+
+    // Fig. 12 statistic: how many AF input samples share texel sets,
+    // measured on the pixels whose footprints were materialized.
+    for (int i = 0; i < 4; ++i) {
+        if (footprints[i].size() > 1) {
+            stats_.af_input_samples += footprints[i].size();
+            stats_.shared_samples += static_cast<std::uint64_t>(
+                patu_.countSharedSamples(footprints[i]));
+        }
+    }
+
+    stats_.filter_busy += busy;
+    result.busy = busy;
+    for (int i = 0; i < 4; ++i)
+        result.color[i] = plans[i].color;
+    return result;
+}
+
+} // namespace pargpu

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The texture unit: the blue block of the paper's Fig. 2 extended with the
+ * PATU components of Fig. 14.
+ *
+ * Per quad (the SIMD processing unit), each covered pixel flows through:
+ *   Texel Generation (anisotropy/sample size) -> [PATU stage 1] ->
+ *   Texture Quality Selection (LOD) -> Texel Address Calculation ->
+ *   [PATU hash table + stage 2] -> Texel Fetching (caches/DRAM) ->
+ *   Filtering (2 cycles per trilinear sample).
+ *
+ * Timing: the four filtering pipelines operate in lockstep, so per-quad
+ * busy time is the max over pixels of address + filter cycles; texel-fetch
+ * latency beyond the unit's in-flight window is exposed as stall.
+ */
+
+#ifndef PARGPU_SIM_TEXUNIT_HH
+#define PARGPU_SIM_TEXUNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/patu.hh"
+#include "mem/memsys.hh"
+#include "sim/config.hh"
+#include "sim/raster.hh"
+
+namespace pargpu
+{
+
+/** Per-frame activity counters of one texture unit. */
+struct TexUnitStats
+{
+    std::uint64_t pixels = 0;           ///< Pixels filtered.
+    std::uint64_t quads = 0;            ///< Quads processed.
+    std::uint64_t trilinear_samples = 0;///< Trilinear samples filtered.
+    std::uint64_t texels = 0;           ///< Texels requested (8/sample).
+    std::uint64_t addr_ops = 0;         ///< Address calculations (texels).
+    std::uint64_t table_accesses = 0;   ///< Hash-table insert operations.
+    Cycle filter_busy = 0;              ///< TU busy cycles (Fig. 18 metric).
+    Cycle mem_stall = 0;                ///< Exposed texel-fetch stall.
+
+    // PATU decision counters.
+    std::uint64_t af_candidate_pixels = 0; ///< Pixels with N > 1.
+    std::uint64_t approx_stage1 = 0;
+    std::uint64_t approx_stage2 = 0;
+    std::uint64_t full_af = 0;
+    std::uint64_t trivial_tf = 0;
+
+    // Section V-C / Fig. 12 statistics.
+    std::uint64_t af_input_samples = 0; ///< AF samples inspected (N > 1).
+    std::uint64_t shared_samples = 0;   ///< ... that share a texel set.
+    std::uint64_t divergent_quads = 0;  ///< Quads with mixed decisions.
+    std::uint64_t af_quads = 0;         ///< Quads with any N > 1 pixel.
+};
+
+/** Result of filtering one quad. */
+struct QuadFilterResult
+{
+    Color4f color[4]; ///< Filtered texture color per pixel.
+    Cycle busy = 0;   ///< TU cycles consumed by this quad.
+};
+
+/**
+ * One texture unit instance (one per shader cluster). Holds the PATU
+ * decision pipelines and issues timed reads into the memory system.
+ */
+class TextureUnit
+{
+  public:
+    /**
+     * @param config   GPU configuration (timing + PATU knobs).
+     * @param cluster  Owning cluster index (selects the texture L1).
+     * @param mem      Shared memory system.
+     */
+    TextureUnit(const GpuConfig &config, unsigned cluster,
+                MemorySystem &mem);
+
+    /**
+     * Filter all covered pixels of @p quad against @p tex.
+     *
+     * @param quad  Rasterizer output (uv + derivatives).
+     * @param tex   Bound texture.
+     * @param mode  Draw call's filter mode.
+     * @param now   TU-local current cycle (for memory timing).
+     * @return Per-pixel colors and consumed cycles.
+     */
+    QuadFilterResult processQuad(const QuadFragment &quad,
+                                 const TextureMap &tex, FilterMode mode,
+                                 Cycle now);
+
+    const TexUnitStats &stats() const { return stats_; }
+
+    /** Zero the per-frame counters. */
+    void resetStats() { stats_ = TexUnitStats{}; }
+
+  private:
+    /** Per-pixel outcome inside a quad. */
+    struct PixelPlan
+    {
+        bool active = false;
+        bool approximate = false;
+        DecisionStage stage = DecisionStage::FullAf;
+        int fetch_samples = 0; ///< Trilinear samples actually fetched.
+        int addr_samples = 0;  ///< Samples whose addresses were computed.
+        Color4f color;
+    };
+
+    /** Issue timed reads for a sample's unique cache lines. */
+    Cycle fetchSample(const TrilinearSample &s, Cycle now);
+
+    GpuConfig config_;
+    unsigned cluster_;
+    MemorySystem *mem_;
+    PatuUnit patu_;
+    TexUnitStats stats_;
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_SIM_TEXUNIT_HH

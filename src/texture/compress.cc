@@ -1,0 +1,126 @@
+#include "texture/compress.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pargpu
+{
+
+std::uint16_t
+packRGB565(const Color4f &c)
+{
+    Color4f k = c.clamped();
+    auto q = [](float v, int bits) {
+        int maxv = (1 << bits) - 1;
+        return static_cast<std::uint16_t>(v * maxv + 0.5f);
+    };
+    return static_cast<std::uint16_t>((q(k.r, 5) << 11) | (q(k.g, 6) << 5) |
+                                      q(k.b, 5));
+}
+
+Color4f
+unpackRGB565(std::uint16_t v)
+{
+    float r = static_cast<float>((v >> 11) & 0x1F) / 31.0f;
+    float g = static_cast<float>((v >> 5) & 0x3F) / 63.0f;
+    float b = static_cast<float>(v & 0x1F) / 31.0f;
+    return {r, g, b, 1.0f};
+}
+
+namespace
+{
+
+// The 4-entry palette spanned by the endpoints.
+void
+palette(const Bc1Block &block, Color4f out[4])
+{
+    out[0] = unpackRGB565(block.c0);
+    out[1] = unpackRGB565(block.c1);
+    out[2] = lerp(out[0], out[1], 1.0f / 3.0f);
+    out[3] = lerp(out[0], out[1], 2.0f / 3.0f);
+}
+
+float
+dist2(const Color4f &a, const Color4f &b)
+{
+    float dr = a.r - b.r, dg = a.g - b.g, db = a.b - b.b;
+    return dr * dr + dg * dg + db * db;
+}
+
+} // namespace
+
+Bc1Block
+encodeBc1Block(const RGBA8 texels[16])
+{
+    // Endpoints: luma extrema of the block.
+    int lo = 0, hi = 0;
+    float lo_l = 2.0f, hi_l = -1.0f;
+    Color4f colors[16];
+    for (int i = 0; i < 16; ++i) {
+        colors[i] = unpackRGBA8(texels[i]);
+        float l = colors[i].luma();
+        if (l < lo_l) {
+            lo_l = l;
+            lo = i;
+        }
+        if (l > hi_l) {
+            hi_l = l;
+            hi = i;
+        }
+    }
+
+    Bc1Block block;
+    block.c0 = packRGB565(colors[lo]);
+    block.c1 = packRGB565(colors[hi]);
+
+    Color4f pal[4];
+    palette(block, pal);
+    for (int i = 0; i < 16; ++i) {
+        int best = 0;
+        float best_d = dist2(colors[i], pal[0]);
+        for (int p = 1; p < 4; ++p) {
+            float d = dist2(colors[i], pal[p]);
+            if (d < best_d) {
+                best_d = d;
+                best = p;
+            }
+        }
+        block.indices |= static_cast<std::uint32_t>(best) << (2 * i);
+    }
+    return block;
+}
+
+Color4f
+decodeBc1Texel(const Bc1Block &block, int x, int y)
+{
+    Color4f pal[4];
+    palette(block, pal);
+    int i = y * 4 + x;
+    return pal[(block.indices >> (2 * i)) & 0x3];
+}
+
+std::vector<Bc1Block>
+compressLevel(int width, int height, const std::vector<RGBA8> &texels)
+{
+    int bw = (width + 3) / 4;
+    int bh = (height + 3) / 4;
+    std::vector<Bc1Block> blocks;
+    blocks.reserve(static_cast<std::size_t>(bw) * bh);
+    for (int by = 0; by < bh; ++by) {
+        for (int bx = 0; bx < bw; ++bx) {
+            RGBA8 tile[16];
+            for (int y = 0; y < 4; ++y) {
+                for (int x = 0; x < 4; ++x) {
+                    int sx = std::min(bx * 4 + x, width - 1);
+                    int sy = std::min(by * 4 + y, height - 1);
+                    tile[y * 4 + x] =
+                        texels[static_cast<std::size_t>(sy) * width + sx];
+                }
+            }
+            blocks.push_back(encodeBc1Block(tile));
+        }
+    }
+    return blocks;
+}
+
+} // namespace pargpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Block texture compression (BC1/DXT1-class).
+ *
+ * The paper positions PATU as orthogonal to texture compression (Section
+ * VIII); this module provides a compressed texture storage mode so the
+ * claim can be demonstrated: 4x4 texel blocks are stored as two RGB565
+ * endpoints plus sixteen 2-bit palette indices (8 bytes per block — 8:1
+ * against RGBA8), cutting texture footprint and traffic at a small,
+ * measurable quality cost.
+ */
+
+#ifndef PARGPU_TEXTURE_COMPRESS_HH
+#define PARGPU_TEXTURE_COMPRESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/color.hh"
+
+namespace pargpu
+{
+
+/** One compressed 4x4 block: endpoints + 2-bit selectors. */
+struct Bc1Block
+{
+    std::uint16_t c0 = 0;      ///< Endpoint 0 (RGB565).
+    std::uint16_t c1 = 0;      ///< Endpoint 1 (RGB565).
+    std::uint32_t indices = 0; ///< 16 x 2-bit palette selectors.
+
+    /** Stored size: the defining 8 bytes of the format. */
+    static constexpr unsigned kBytes = 8;
+};
+
+/** Pack a float color to RGB565. */
+std::uint16_t packRGB565(const Color4f &c);
+
+/** Expand RGB565 back to float (alpha = 1). */
+Color4f unpackRGB565(std::uint16_t v);
+
+/**
+ * Encode one 4x4 texel block.
+ *
+ * Endpoints are chosen as the luma extrema of the block; the remaining
+ * texels select the nearest of the 4 palette entries (the two endpoints
+ * and their 1/3, 2/3 blends). Simple but representative of hardware-class
+ * encoders.
+ *
+ * @param texels  16 texels, row-major.
+ */
+Bc1Block encodeBc1Block(const RGBA8 texels[16]);
+
+/**
+ * Decode texel (x, y) of a block (0 <= x, y < 4).
+ */
+Color4f decodeBc1Texel(const Bc1Block &block, int x, int y);
+
+/**
+ * Compress a full mip level.
+ *
+ * @param width   Level width (multiple of 4, or it is padded by clamping).
+ * @param height  Level height.
+ * @param texels  Row-major RGBA8 texels.
+ * @return Blocks in block-row-major order, ceil(w/4) * ceil(h/4) entries.
+ */
+std::vector<Bc1Block> compressLevel(int width, int height,
+                                    const std::vector<RGBA8> &texels);
+
+} // namespace pargpu
+
+#endif // PARGPU_TEXTURE_COMPRESS_HH

@@ -1,0 +1,48 @@
+#include "texture/mipmap.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pargpu
+{
+
+std::vector<MipLevel>
+buildMipPyramid(int width, int height, std::vector<RGBA8> base)
+{
+    if (!isPowerOfTwo(width) || !isPowerOfTwo(height))
+        fatal("texture dimensions must be powers of two");
+    if (base.size() != static_cast<std::size_t>(width) * height)
+        fatal("texel count does not match texture dimensions");
+
+    std::vector<MipLevel> levels;
+    levels.push_back({width, height, std::move(base)});
+
+    while (levels.back().width > 1 || levels.back().height > 1) {
+        const MipLevel &src = levels.back();
+        MipLevel dst;
+        dst.width = std::max(1, src.width / 2);
+        dst.height = std::max(1, src.height / 2);
+        dst.texels.resize(static_cast<std::size_t>(dst.width) * dst.height);
+        for (int y = 0; y < dst.height; ++y) {
+            for (int x = 0; x < dst.width; ++x) {
+                // Box filter over the (up to) 2x2 source footprint; for
+                // non-square pyramids the collapsed axis contributes one
+                // sample.
+                int sx0 = std::min(2 * x, src.width - 1);
+                int sx1 = std::min(2 * x + 1, src.width - 1);
+                int sy0 = std::min(2 * y, src.height - 1);
+                int sy1 = std::min(2 * y + 1, src.height - 1);
+                Color4f acc = unpackRGBA8(src.at(sx0, sy0));
+                acc += unpackRGBA8(src.at(sx1, sy0));
+                acc += unpackRGBA8(src.at(sx0, sy1));
+                acc += unpackRGBA8(src.at(sx1, sy1));
+                dst.at(x, y) = packRGBA8(acc * 0.25f);
+            }
+        }
+        levels.push_back(std::move(dst));
+    }
+    return levels;
+}
+
+} // namespace pargpu

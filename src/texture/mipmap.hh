@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Mipmap pyramid construction.
+ */
+
+#ifndef PARGPU_TEXTURE_MIPMAP_HH
+#define PARGPU_TEXTURE_MIPMAP_HH
+
+#include <vector>
+
+#include "texture/texture.hh"
+
+namespace pargpu
+{
+
+/**
+ * Build a full mip pyramid from a level-0 raster using a 2x2 box filter,
+ * halving each dimension (minimum 1) until reaching 1x1.
+ *
+ * @param width   Level-0 width (power of two).
+ * @param height  Level-0 height (power of two).
+ * @param base    Row-major level-0 texels.
+ * @return Levels from 0 (full resolution) to log2(max(w, h)) (1x1).
+ */
+std::vector<MipLevel> buildMipPyramid(int width, int height,
+                                      std::vector<RGBA8> base);
+
+/** True if @p v is a positive power of two. */
+constexpr bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace pargpu
+
+#endif // PARGPU_TEXTURE_MIPMAP_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Procedural texture generators.
+ *
+ * The paper renders commercial game traces whose texture assets we cannot
+ * redistribute; these generators produce deterministic stand-ins with the
+ * properties that matter for the experiments — high-frequency detail (so AF
+ * vs TF differences are visible in SSIM), a range of contrast levels, and
+ * distinct per-game looks (see DESIGN.md substitution table).
+ */
+
+#ifndef PARGPU_TEXTURE_PROCEDURAL_HH
+#define PARGPU_TEXTURE_PROCEDURAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/color.hh"
+
+namespace pargpu
+{
+
+/** Families of procedural texture content. */
+enum class TextureKind
+{
+    Checker,  ///< Two-tone checkerboard (sharp edges, worst-case aliasing).
+    Bricks,   ///< Brick courses with mortar lines.
+    Noise,    ///< Fractal value noise (natural surfaces: rock, ground).
+    Grass,    ///< Green-band noise with blade streaks.
+    Marble,   ///< Sine-warped noise veins.
+    Wood,     ///< Concentric ring pattern.
+    Stripes,  ///< Fine directional stripes (racing-track style).
+    Panels,   ///< Rectangular tech panels with seams (sci-fi interiors).
+};
+
+/**
+ * Generate a square procedural texture's level-0 texels.
+ *
+ * @param kind  Content family.
+ * @param size  Width == height (power of two).
+ * @param seed  Deterministic variation seed.
+ * @return Row-major RGBA8 texels, size * size entries.
+ */
+std::vector<RGBA8> generateTexture(TextureKind kind, int size,
+                                   std::uint32_t seed);
+
+/**
+ * Fractal value noise in [0, 1] at normalized coordinates (u, v), with
+ * @p octaves octaves of lattice value noise.
+ */
+float fractalNoise(float u, float v, int octaves, std::uint32_t seed);
+
+} // namespace pargpu
+
+#endif // PARGPU_TEXTURE_PROCEDURAL_HH

@@ -1,0 +1,173 @@
+#include "texture/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pargpu
+{
+
+AnisotropyInfo
+TextureSampler::computeAnisotropy(const Vec2 &duvdx, const Vec2 &duvdy,
+                                  int max_aniso) const
+{
+    AnisotropyInfo info;
+    const float w = static_cast<float>(tex_->width());
+    const float h = static_cast<float>(tex_->height());
+
+    // Footprint extents in level-0 texel units along each screen axis.
+    Vec2 tx{duvdx.x * w, duvdx.y * h};
+    Vec2 ty{duvdy.x * w, duvdy.y * h};
+    float px = tx.length();
+    float py = ty.length();
+
+    constexpr float kMinExtent = 1e-6f;
+    px = std::max(px, kMinExtent);
+    py = std::max(py, kMinExtent);
+
+    if (px >= py) {
+        info.pMax = px;
+        info.pMin = py;
+        info.majorUv = duvdx;
+    } else {
+        info.pMax = py;
+        info.pMin = px;
+        info.majorUv = duvdy;
+    }
+
+    // The anisotropy degree is the axis ratio (Section IV-C(A)), rounded
+    // up so the sample footprints always cover the ellipse. The filtering
+    // pipelines further round the issued sample count up to a power of
+    // two (2/4/8/16-sample groups); the over-sampling packs successive
+    // samples less than a texel apart, which is the root of the texel-set
+    // sharing Fig. 12 measures.
+    float ratio = info.pMax / info.pMin;
+    info.anisoDegree = std::clamp(
+        static_cast<int>(std::ceil(ratio - 1e-4f)), 1, max_aniso);
+    int pow2 = 1;
+    while (pow2 < info.anisoDegree)
+        pow2 *= 2;
+    info.sampleSize = std::min(pow2, max_aniso);
+
+    // TF samples an isotropic square sized by the major extent (the square
+    // with equivalent diagonals, Section IV-A); AF's LOD follows the minor
+    // axis so each of the N samples stays sharp (Section V-C(2)).
+    info.lodTF = std::log2(std::max(info.pMax, 1.0f));
+    info.lodAF = std::log2(std::max(info.pMin, 1.0f));
+    return info;
+}
+
+Color4f
+TextureSampler::bilinear(const Vec2 &uv, int level) const
+{
+    const MipLevel &lv = tex_->level(level);
+    float tu = uv.x * lv.width - 0.5f;
+    float tv = uv.y * lv.height - 0.5f;
+    int x0 = static_cast<int>(std::floor(tu));
+    int y0 = static_cast<int>(std::floor(tv));
+    float fu = tu - x0;
+    float fv = tv - y0;
+
+    Color4f c00 = tex_->fetchTexel(level, x0, y0);
+    Color4f c10 = tex_->fetchTexel(level, x0 + 1, y0);
+    Color4f c01 = tex_->fetchTexel(level, x0, y0 + 1);
+    Color4f c11 = tex_->fetchTexel(level, x0 + 1, y0 + 1);
+    return lerp(lerp(c00, c10, fu), lerp(c01, c11, fu), fv);
+}
+
+TrilinearSample
+TextureSampler::trilinear(const Vec2 &uv, float lod) const
+{
+    TrilinearSample s;
+    s.uv = uv;
+
+    const int max_level = tex_->numLevels() - 1;
+    if (lod <= 0.0f) {
+        s.level0 = s.level1 = 0;
+        s.frac = 0.0f;
+    } else if (lod >= static_cast<float>(max_level)) {
+        s.level0 = s.level1 = max_level;
+        s.frac = 0.0f;
+    } else {
+        s.level0 = static_cast<int>(std::floor(lod));
+        s.level1 = s.level0 + 1;
+        s.frac = lod - static_cast<float>(s.level0);
+    }
+
+    Color4f acc{0, 0, 0, 0};
+    int slot = 0;
+    for (int li = 0; li < 2; ++li) {
+        int level = li == 0 ? s.level0 : s.level1;
+        float level_w = li == 0 ? 1.0f - s.frac : s.frac;
+        const MipLevel &lv = tex_->level(level);
+        float tu = uv.x * lv.width - 0.5f;
+        float tv = uv.y * lv.height - 0.5f;
+        int x0 = static_cast<int>(std::floor(tu));
+        int y0 = static_cast<int>(std::floor(tv));
+        float fu = tu - x0;
+        float fv = tv - y0;
+        const float bw[4] = {
+            (1.0f - fu) * (1.0f - fv),
+            fu * (1.0f - fv),
+            (1.0f - fu) * fv,
+            fu * fv,
+        };
+        const int dx[4] = {0, 1, 0, 1};
+        const int dy[4] = {0, 0, 1, 1};
+        for (int i = 0; i < 4; ++i, ++slot) {
+            TexelRef &t = s.texels[slot];
+            t.level = level;
+            t.x = x0 + dx[i];
+            t.y = y0 + dy[i];
+            t.weight = bw[i] * level_w;
+            t.addr = tex_->texelAddr(level, t.x, t.y);
+            // When level0 == level1 (LOD clamped) the second level's weight
+            // is zero and its texels duplicate the first; the color math is
+            // unaffected and the address stream matches a hardware unit that
+            // always issues both level fetches.
+            acc += tex_->fetchTexel(level, t.x, t.y) * t.weight;
+        }
+    }
+    s.color = acc;
+    return s;
+}
+
+FilterResult
+TextureSampler::filterTrilinear(const Vec2 &uv, float lod) const
+{
+    FilterResult r;
+    r.samples.push_back(trilinear(uv, lod));
+    r.color = r.samples.front().color;
+    return r;
+}
+
+FilterResult
+TextureSampler::filterAnisotropic(const Vec2 &uv,
+                                  const AnisotropyInfo &info) const
+{
+    FilterResult r;
+    const int n = info.sampleSize;
+    r.samples.reserve(n);
+    Color4f acc{0, 0, 0, 0};
+    // Sample centers span only the ellipse interior: each trilinear
+    // sample has an isotropic footprint of diameter pMin, so centers are
+    // confined to the major extent minus one footprint ((pMax - pMin) /
+    // pMax of the derivative vector). This keeps the union of footprints
+    // inside the ellipse and — for small axis ratios — places successive
+    // samples within a texel of each other, which is exactly the texel-
+    // set sharing the paper measures in Fig. 12.
+    float span = info.pMax > 0.0f
+        ? std::max(0.0f, 1.0f - info.pMin / info.pMax) : 0.0f;
+    for (int i = 0; i < n; ++i) {
+        // Offsets centered on the pixel: t_i in (-span/2, span/2); for
+        // n == 1 this degenerates to the TF center.
+        float t = span * (2.0f * i - n + 1.0f) / (2.0f * n);
+        Vec2 sample_uv{uv.x + info.majorUv.x * t, uv.y + info.majorUv.y * t};
+        TrilinearSample s = trilinear(sample_uv, info.lodAF);
+        acc += s.color * (1.0f / static_cast<float>(n));
+        r.samples.push_back(std::move(s));
+    }
+    r.color = acc;
+    return r;
+}
+
+} // namespace pargpu

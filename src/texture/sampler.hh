@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Hardware-style texture sampling: bilinear, trilinear and anisotropic
+ * filtering with explicit texel footprints.
+ *
+ * This module reproduces the filtering dataflow of Section IV-A of the
+ * paper. A trilinear sample touches exactly 8 texels (a 2x2 bilinear
+ * footprint at each of two adjacent mip levels); an anisotropic lookup takes
+ * N trilinear samples spaced along the major axis of the projected pixel
+ * footprint (Eq. 3), where N is the ratio of the major to the minor axis,
+ * clamped to the texture unit's maximum anisotropy (16 in the baseline).
+ *
+ * Every sample carries the texel addresses the hardware would fetch, so the
+ * cache model and PATU's texel-address hash table see the exact stream a
+ * real texture unit would generate.
+ */
+
+#ifndef PARGPU_TEXTURE_SAMPLER_HH
+#define PARGPU_TEXTURE_SAMPLER_HH
+
+#include <array>
+#include <vector>
+
+#include "common/color.hh"
+#include "common/types.hh"
+#include "common/vec.hh"
+#include "texture/texture.hh"
+
+namespace pargpu
+{
+
+/** User-selected filtering method for a draw call. */
+enum class FilterMode
+{
+    Bilinear,    ///< Single-level 2x2 filter.
+    Trilinear,   ///< Two-level 2x2 filter (TF in the paper).
+    Anisotropic, ///< N trilinear samples along the major axis (AF).
+};
+
+/** One texel the hardware fetches: location, blend weight and address. */
+struct TexelRef
+{
+    int level = 0;      ///< Mip level.
+    int x = 0;          ///< Texel column (pre-wrap).
+    int y = 0;          ///< Texel row (pre-wrap).
+    float weight = 0.0f;///< Contribution to the filtered color.
+    Addr addr = 0;      ///< Simulated memory address (post-wrap).
+};
+
+/** A trilinear sample: 8 texels across two adjacent mip levels. */
+struct TrilinearSample
+{
+    Vec2 uv;            ///< Normalized sample center.
+    int level0 = 0;     ///< Finer level.
+    int level1 = 0;     ///< Coarser level (== level0 when clamped).
+    float frac = 0.0f;  ///< Blend toward level1.
+    std::array<TexelRef, 8> texels; ///< [0..3] level0, [4..7] level1.
+    Color4f color;      ///< Filtered result of this sample.
+};
+
+/**
+ * Anisotropy parameters derived from screen-space texture-coordinate
+ * derivatives — available right after Texel Generation in the pipeline
+ * (Fig. 2), before any texel is fetched.
+ */
+struct AnisotropyInfo
+{
+    float pMax = 1.0f;  ///< Major-axis footprint length (texels).
+    float pMin = 1.0f;  ///< Minor-axis footprint length (texels).
+    /**
+     * Anisotropy degree N = clamp(ceil(pMax / pMin), 1, maxAniso) — the
+     * paper's sample size, which drives the AF-SSIM(N) prediction.
+     */
+    int anisoDegree = 1;
+    /**
+     * Trilinear samples the filtering pipelines actually issue: the
+     * anisotropy degree rounded up to a power of two (hardware processes
+     * 2/4/8/16-sample groups).
+     */
+    int sampleSize = 1;
+    float lodTF = 0.0f; ///< Isotropic LOD: log2(pMax) (square diagonal).
+    float lodAF = 0.0f; ///< Anisotropic LOD: log2(pMin) (minor axis).
+    Vec2 majorUv;       ///< Major-axis step in normalized uv space.
+};
+
+/** The complete result of filtering one pixel. */
+struct FilterResult
+{
+    Color4f color;      ///< Final filtered texture color.
+    std::vector<TrilinearSample> samples; ///< N samples (1 for TF).
+};
+
+/**
+ * Sampler bound to a single TextureMap. Stateless between lookups; all
+ * methods are const.
+ */
+class TextureSampler
+{
+  public:
+    /** Default maximum anisotropy of the baseline texture unit. */
+    static constexpr int kMaxAniso = 16;
+
+    explicit TextureSampler(const TextureMap &tex) : tex_(&tex) {}
+
+    const TextureMap &texture() const { return *tex_; }
+
+    /**
+     * Derive anisotropy parameters from normalized-uv screen derivatives.
+     *
+     * @param duvdx     d(u,v)/dx across one pixel.
+     * @param duvdy     d(u,v)/dy across one pixel.
+     * @param max_aniso Texture-unit anisotropy cap (>= 1).
+     */
+    AnisotropyInfo computeAnisotropy(const Vec2 &duvdx, const Vec2 &duvdy,
+                                     int max_aniso = kMaxAniso) const;
+
+    /** Single bilinear sample at @p uv on mip level @p level. */
+    Color4f bilinear(const Vec2 &uv, int level) const;
+
+    /**
+     * One trilinear sample at @p uv with level of detail @p lod.
+     * Produces the full 8-texel footprint.
+     */
+    TrilinearSample trilinear(const Vec2 &uv, float lod) const;
+
+    /**
+     * Trilinear filter of a pixel (the paper's TF): one trilinear sample at
+     * the pixel center using the given LOD.
+     */
+    FilterResult filterTrilinear(const Vec2 &uv, float lod) const;
+
+    /**
+     * Anisotropic filter of a pixel (the paper's AF): @p info.sampleSize
+     * trilinear samples spaced along the major axis at lodAF, averaged with
+     * equal weights (Eq. 3).
+     */
+    FilterResult filterAnisotropic(const Vec2 &uv,
+                                   const AnisotropyInfo &info) const;
+
+  private:
+    const TextureMap *tex_;
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_TEXTURE_SAMPLER_HH

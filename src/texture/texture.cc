@@ -1,0 +1,92 @@
+#include "texture/texture.hh"
+
+#include "common/logging.hh"
+#include "texture/mipmap.hh"
+
+namespace pargpu
+{
+
+TextureMap::TextureMap(int width, int height, std::vector<RGBA8> texels,
+                       WrapMode wrap, TexelLayout layout,
+                       StorageFormat format)
+    : levels_(buildMipPyramid(width, height, std::move(texels))),
+      wrap_(wrap), layout_(layout), format_(format)
+{
+    Bytes offset = 0;
+    levelOffset_.reserve(levels_.size());
+    if (format_ == StorageFormat::BC1)
+        bc1_levels_.reserve(levels_.size());
+    for (const MipLevel &lv : levels_) {
+        levelOffset_.push_back(offset);
+        if (format_ == StorageFormat::BC1) {
+            bc1_levels_.push_back(
+                compressLevel(lv.width, lv.height, lv.texels));
+            offset += static_cast<Bytes>(bc1_levels_.back().size()) *
+                Bc1Block::kBytes;
+        } else {
+            offset += static_cast<Bytes>(lv.width) * lv.height *
+                RGBA8::kBytes;
+        }
+    }
+    sizeBytes_ = offset;
+}
+
+int
+TextureMap::wrapCoord(int c, int extent, WrapMode mode)
+{
+    if (mode == WrapMode::Repeat) {
+        int m = c % extent;
+        return m < 0 ? m + extent : m;
+    }
+    if (c < 0)
+        return 0;
+    if (c >= extent)
+        return extent - 1;
+    return c;
+}
+
+Addr
+TextureMap::texelAddr(int level, int x, int y) const
+{
+    const MipLevel &lv = levels_[level];
+    int wx = wrapCoord(x, lv.width, wrap_);
+    int wy = wrapCoord(y, lv.height, wrap_);
+    if (format_ == StorageFormat::BC1) {
+        // Compressed storage is addressed at block granularity: all 16
+        // texels of a 4x4 block live in one 8-byte record.
+        int bw = (lv.width + 3) / 4;
+        Bytes block = static_cast<Bytes>(wy / 4) * bw + (wx / 4);
+        return baseAddr_ + levelOffset_[level] + block * Bc1Block::kBytes;
+    }
+    Bytes linear;
+    if (layout_ == TexelLayout::Tiled4x4 && lv.width >= 4 && lv.height >= 4) {
+        // 4x4 texel tiles, tiles stored row-major; texels within a tile
+        // stored row-major. Matches the block layouts real texture units
+        // use to keep a bilinear footprint in one or two cache lines.
+        int tiles_per_row = lv.width / 4;
+        int tile = (wy / 4) * tiles_per_row + (wx / 4);
+        int in_tile = (wy % 4) * 4 + (wx % 4);
+        linear = static_cast<Bytes>(tile) * 16 + in_tile;
+    } else {
+        linear = static_cast<Bytes>(wy) * lv.width + wx;
+    }
+    return baseAddr_ + levelOffset_[level] + linear * RGBA8::kBytes;
+}
+
+Color4f
+TextureMap::fetchTexel(int level, int x, int y) const
+{
+    const MipLevel &lv = levels_[level];
+    int wx = wrapCoord(x, lv.width, wrap_);
+    int wy = wrapCoord(y, lv.height, wrap_);
+    if (format_ == StorageFormat::BC1) {
+        int bw = (lv.width + 3) / 4;
+        const Bc1Block &block =
+            bc1_levels_[level][static_cast<std::size_t>(wy / 4) * bw +
+                               (wx / 4)];
+        return decodeBc1Texel(block, wx % 4, wy % 4);
+    }
+    return unpackRGBA8(lv.at(wx, wy));
+}
+
+} // namespace pargpu

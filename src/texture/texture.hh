@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Texture maps with full mipmap pyramids and hardware texel addressing.
+ *
+ * Texels are packed RGBA8 (4 bytes). Each texture occupies a contiguous
+ * region of the simulated GPU address space; texelAddr() reproduces the
+ * address a hardware texel-address calculator would emit, which is what the
+ * texture caches and PATU's texel-address hash table consume.
+ */
+
+#ifndef PARGPU_TEXTURE_TEXTURE_HH
+#define PARGPU_TEXTURE_TEXTURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/color.hh"
+#include "common/types.hh"
+#include "texture/compress.hh"
+
+namespace pargpu
+{
+
+/** Texture coordinate wrap mode. */
+enum class WrapMode
+{
+    Repeat,      ///< Fractional repeat (floors/walls tiling).
+    ClampToEdge, ///< Clamp texel coordinates to the level border.
+};
+
+/** In-memory texel layout within a mip level. */
+enum class TexelLayout
+{
+    Linear,   ///< Row-major.
+    Tiled4x4, ///< 4x4 texel tiles, row-major tiles (GPU-typical locality).
+};
+
+/** On-memory storage format of the texture data. */
+enum class StorageFormat
+{
+    RGBA8, ///< Uncompressed 4 bytes/texel.
+    BC1,   ///< Block-compressed, 8 bytes per 4x4 block (8:1).
+};
+
+/** One mip level: a levelWidth x levelHeight raster of RGBA8 texels. */
+struct MipLevel
+{
+    int width = 0;
+    int height = 0;
+    std::vector<RGBA8> texels; ///< Row-major logical storage.
+
+    const RGBA8 &
+    at(int x, int y) const
+    {
+        return texels[static_cast<std::size_t>(y) * width + x];
+    }
+
+    RGBA8 &
+    at(int x, int y)
+    {
+        return texels[static_cast<std::size_t>(y) * width + x];
+    }
+};
+
+/**
+ * A 2D mipmapped texture bound into the simulated GPU address space.
+ *
+ * The pyramid always extends down to 1x1. Level 0 dimensions must be powers
+ * of two (as required by the tiling-friendly address math).
+ */
+class TextureMap
+{
+  public:
+    /**
+     * Build a texture from level-0 texels; generates the mip pyramid with a
+     * 2x2 box filter.
+     *
+     * @param width   Level-0 width (power of two).
+     * @param height  Level-0 height (power of two).
+     * @param texels  Row-major level-0 texels (width * height entries).
+     * @param wrap    Coordinate wrap mode.
+     * @param layout  Memory layout for texel addresses.
+     */
+    TextureMap(int width, int height, std::vector<RGBA8> texels,
+               WrapMode wrap = WrapMode::Repeat,
+               TexelLayout layout = TexelLayout::Tiled4x4,
+               StorageFormat format = StorageFormat::RGBA8);
+
+    int width() const { return levels_.front().width; }
+    int height() const { return levels_.front().height; }
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+    WrapMode wrap() const { return wrap_; }
+    TexelLayout layout() const { return layout_; }
+    StorageFormat format() const { return format_; }
+
+    const MipLevel &level(int l) const { return levels_[l]; }
+
+    /** Total bytes the texture occupies (all levels). */
+    Bytes sizeBytes() const { return sizeBytes_; }
+
+    /** Base address in the simulated GPU address space. */
+    Addr baseAddr() const { return baseAddr_; }
+
+    /** Bind the texture at @p base in the GPU address space. */
+    void setBaseAddr(Addr base) { baseAddr_ = base; }
+
+    /**
+     * Wrap a texel coordinate into [0, extent) per the wrap mode.
+     * @param c       Possibly out-of-range texel coordinate.
+     * @param extent  Level width or height.
+     */
+    static int wrapCoord(int c, int extent, WrapMode mode);
+
+    /**
+     * Address of texel (x, y) at mip level @p level, after wrapping.
+     * Reproduces the hardware address calculation including tiling.
+     */
+    Addr texelAddr(int level, int x, int y) const;
+
+    /** Fetch a texel color (functional path) with wrapping applied. */
+    Color4f fetchTexel(int level, int x, int y) const;
+
+  private:
+    std::vector<MipLevel> levels_;
+    std::vector<Bytes> levelOffset_; ///< Byte offset of each level.
+    /** Compressed blocks per level (BC1 format only). */
+    std::vector<std::vector<Bc1Block>> bc1_levels_;
+    WrapMode wrap_;
+    TexelLayout layout_;
+    StorageFormat format_;
+    Addr baseAddr_ = 0;
+    Bytes sizeBytes_ = 0;
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_TEXTURE_TEXTURE_HH

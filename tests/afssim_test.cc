@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the AF-SSIM prediction formulas (Section IV, Eq. 5-10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/afssim.hh"
+
+using namespace pargpu;
+
+TEST(AfSsimSimilarityTest, PerfectSimilarityGivesOne)
+{
+    // mu = 1 means Y == X: AF-SSIM must be ~1 (Eq. 5).
+    EXPECT_NEAR(afSsimFromSimilarity(1.0f), 1.0f, 1e-4f);
+}
+
+TEST(AfSsimSimilarityTest, DecreasesAwayFromOne)
+{
+    float at1 = afSsimFromSimilarity(1.0f);
+    float at2 = afSsimFromSimilarity(2.0f);
+    float at4 = afSsimFromSimilarity(4.0f);
+    EXPECT_GT(at1, at2);
+    EXPECT_GT(at2, at4);
+}
+
+TEST(AfSsimSimilarityTest, BoundedInUnitIntervalForNonNegativeMu)
+{
+    for (float mu = 0.0f; mu <= 20.0f; mu += 0.25f) {
+        float v = afSsimFromSimilarity(mu);
+        EXPECT_GE(v, 0.0f) << "mu=" << mu;
+        EXPECT_LE(v, 1.0f + 1e-6f) << "mu=" << mu;
+    }
+}
+
+TEST(AfSsimNTest, UnitSampleSizeGivesOne)
+{
+    // Eq. 6 at N = 1: (2/(1+1))^2 = 1.
+    EXPECT_FLOAT_EQ(afSsimFromSampleSize(1), 1.0f);
+}
+
+TEST(AfSsimNTest, MatchesClosedForm)
+{
+    for (int n = 1; n <= 16; ++n) {
+        float fn = static_cast<float>(n);
+        float expect = std::pow(2.0f * fn / (fn * fn + 1.0f), 2.0f);
+        EXPECT_NEAR(afSsimFromSampleSize(n), expect, 1e-6f) << "N=" << n;
+    }
+}
+
+TEST(AfSsimNTest, StrictlyDecreasingInN)
+{
+    for (int n = 1; n < 16; ++n) {
+        EXPECT_GT(afSsimFromSampleSize(n), afSsimFromSampleSize(n + 1))
+            << "N=" << n;
+    }
+}
+
+TEST(AfSsimNTest, N16IsSmall)
+{
+    // At the max AF level the prediction must mark the pixel clearly
+    // perceivable: (32/257)^2 ~ 0.0155.
+    EXPECT_NEAR(afSsimFromSampleSize(16), 0.0155f, 1e-3f);
+}
+
+TEST(AfSsimNDeathTest, RejectsZeroSampleSize)
+{
+    EXPECT_DEATH(afSsimFromSampleSize(0), "sample size");
+}
+
+TEST(EntropyTest, CertainEventHasZeroEntropy)
+{
+    EXPECT_FLOAT_EQ(entropyBits({1.0f}), 0.0f);
+}
+
+TEST(EntropyTest, UniformDistributionHitsUpperBound)
+{
+    // Eq. 8: uniform over M events gives log2(M).
+    EXPECT_NEAR(entropyBits({0.25f, 0.25f, 0.25f, 0.25f}), 2.0f, 1e-6f);
+    EXPECT_NEAR(entropyBits({0.5f, 0.5f}), 1.0f, 1e-6f);
+}
+
+TEST(EntropyTest, PaperExampleVector)
+{
+    // The Fig. 11 example: {0.6, 0.2, 0.2}.
+    float e = entropyBits({0.6f, 0.2f, 0.2f});
+    float expect = -(0.6f * std::log2(0.6f) + 2 * 0.2f * std::log2(0.2f));
+    EXPECT_NEAR(e, expect, 1e-6f);
+}
+
+TEST(EntropyTest, ZeroProbabilitiesIgnored)
+{
+    EXPECT_NEAR(entropyBits({0.5f, 0.5f, 0.0f, 0.0f}), 1.0f, 1e-6f);
+}
+
+TEST(TxdsTest, AllSharedGivesOne)
+{
+    // Every AF sample shares one texel set: entropy 0, Txds = 1.
+    EXPECT_FLOAT_EQ(txds({1.0f}, 8), 1.0f);
+}
+
+TEST(TxdsTest, AllDistinctGivesZero)
+{
+    // N distinct sets, uniform: entropy = log2(N), Txds = 0.
+    std::vector<float> p(8, 1.0f / 8.0f);
+    EXPECT_NEAR(txds(p, 8), 0.0f, 1e-6f);
+}
+
+TEST(TxdsTest, SampleSizeOneConvention)
+{
+    EXPECT_FLOAT_EQ(txds({1.0f}, 1), 1.0f);
+}
+
+TEST(TxdsTest, WithinUnitInterval)
+{
+    EXPECT_GE(txds({0.6f, 0.2f, 0.2f}, 5), 0.0f);
+    EXPECT_LE(txds({0.6f, 0.2f, 0.2f}, 5), 1.0f);
+}
+
+TEST(TxdsTest, MoreConcentrationGivesHigherTxds)
+{
+    float concentrated = txds({0.8f, 0.1f, 0.1f}, 10);
+    float spread = txds({0.4f, 0.3f, 0.3f}, 10);
+    EXPECT_GT(concentrated, spread);
+}
+
+TEST(AfSsimTxdsTest, EndpointValues)
+{
+    // Eq. 10: Txds = 1 -> 1; Txds = 0 -> 0.
+    EXPECT_FLOAT_EQ(afSsimFromTxds(1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(afSsimFromTxds(0.0f), 0.0f);
+}
+
+TEST(AfSsimTxdsTest, MonotonicallyIncreasing)
+{
+    float prev = -1.0f;
+    for (float t = 0.0f; t <= 1.0f; t += 0.05f) {
+        float v = afSsimFromTxds(t);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(AfSsimTxdsTest, ClampsOutOfRangeInputs)
+{
+    EXPECT_FLOAT_EQ(afSsimFromTxds(-0.5f), afSsimFromTxds(0.0f));
+    EXPECT_FLOAT_EQ(afSsimFromTxds(1.5f), afSsimFromTxds(1.0f));
+}
+
+TEST(AfSsimConsistencyTest, NAndTxdsPredictionsShareObjective)
+{
+    // Both formulas approximate the same similarity degree, so their
+    // values should agree at the extremes: no anisotropy <-> full overlap.
+    EXPECT_NEAR(afSsimFromSampleSize(1), afSsimFromTxds(1.0f), 1e-6f);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+CacheConfig
+smallCache(Bytes size = 1024, unsigned assoc = 2, unsigned line = 64)
+{
+    CacheConfig c;
+    c.size_bytes = size;
+    c.assoc = assoc;
+    c.line_bytes = line;
+    return c;
+}
+
+} // namespace
+
+TEST(CacheTest, GeometryDerivedFromConfig)
+{
+    SetAssocCache cache(smallCache(1024, 2, 64));
+    EXPECT_EQ(cache.numSets(), 8u); // 16 lines / 2 ways.
+}
+
+TEST(CacheTest, FirstAccessMissesSecondHits)
+{
+    SetAssocCache cache(smallCache());
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheTest, SameLineDifferentOffsetHits)
+{
+    SetAssocCache cache(smallCache());
+    cache.access(0x1000);
+    EXPECT_TRUE(cache.access(0x103F)); // Same 64-byte line.
+    EXPECT_FALSE(cache.access(0x1040)); // Next line.
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way cache: three distinct tags mapping to the same set.
+    SetAssocCache cache(smallCache(1024, 2, 64));
+    // Set stride = num_sets * line = 8 * 64 = 512.
+    Addr a = 0x0, b = 0x200, c = 0x400; // All map to set 0.
+    cache.access(a);
+    cache.access(b);
+    cache.access(a);      // a is now MRU.
+    cache.access(c);      // Evicts b (LRU).
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_FALSE(cache.access(b)); // b was evicted.
+}
+
+TEST(CacheTest, ProbeDoesNotDisturbState)
+{
+    SetAssocCache cache(smallCache());
+    cache.access(0x1000);
+    std::uint64_t hits = cache.hits(), misses = cache.misses();
+    EXPECT_TRUE(cache.probe(0x1000));
+    EXPECT_FALSE(cache.probe(0x9000));
+    EXPECT_EQ(cache.hits(), hits);
+    EXPECT_EQ(cache.misses(), misses);
+}
+
+TEST(CacheTest, FlushInvalidatesAllLines)
+{
+    SetAssocCache cache(smallCache());
+    cache.access(0x1000);
+    cache.access(0x2000);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_FALSE(cache.probe(0x2000));
+    // Stats survive a flush.
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheTest, HitRateComputation)
+{
+    SetAssocCache cache(smallCache());
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.0);
+    cache.access(0x0);
+    cache.access(0x0);
+    cache.access(0x0);
+    cache.access(0x0);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.75);
+}
+
+TEST(CacheTest, WorkingSetWithinCapacityAllHitsOnSecondPass)
+{
+    SetAssocCache cache(smallCache(4096, 4, 64)); // 64 lines.
+    for (Addr a = 0; a < 4096; a += 64)
+        cache.access(a);
+    for (Addr a = 0; a < 4096; a += 64)
+        EXPECT_TRUE(cache.access(a)) << "addr " << a;
+}
+
+TEST(CacheTest, StreamingLargerThanCapacityThrashes)
+{
+    SetAssocCache cache(smallCache(1024, 2, 64)); // 16 lines.
+    // Stream 64 distinct lines twice; with LRU nothing survives.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 64 * 64; a += 64)
+            cache.access(a);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 128u);
+}
+
+TEST(CacheDeathTest, RejectsNonPowerOfTwoLine)
+{
+    CacheConfig c = smallCache(1024, 2, 48);
+    EXPECT_EXIT({ SetAssocCache cache(c); }, testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(CacheDeathTest, RejectsZeroAssoc)
+{
+    CacheConfig c = smallCache(1024, 0, 64);
+    EXPECT_EXIT({ SetAssocCache cache(c); }, testing::ExitedWithCode(1),
+                "associativity");
+}
+
+class CacheGeometryTest
+    : public testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometryTest, FillThenRevisitHitsForAnyGeometry)
+{
+    auto [size_kb, assoc] = GetParam();
+    SetAssocCache cache(
+        smallCache(static_cast<Bytes>(size_kb) * 1024, assoc, 64));
+    Bytes lines = cache.config().size_bytes / 64;
+    for (Addr a = 0; a < lines * 64; a += 64)
+        cache.access(a);
+    std::uint64_t pre_hits = cache.hits();
+    for (Addr a = 0; a < lines * 64; a += 64)
+        cache.access(a);
+    EXPECT_EQ(cache.hits() - pre_hits, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    testing::Values(std::make_tuple(1, 1), std::make_tuple(4, 2),
+                    std::make_tuple(16, 4), std::make_tuple(128, 8),
+                    std::make_tuple(64, 16)));

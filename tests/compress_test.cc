@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for BC1-style block texture compression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "texture/compress.hh"
+#include "texture/procedural.hh"
+#include "texture/texture.hh"
+
+using namespace pargpu;
+
+TEST(Rgb565Test, RoundTripAtRepresentableValues)
+{
+    // Pure white/black are exactly representable.
+    Color4f white = unpackRGB565(packRGB565({1, 1, 1}));
+    EXPECT_FLOAT_EQ(white.r, 1.0f);
+    EXPECT_FLOAT_EQ(white.g, 1.0f);
+    EXPECT_FLOAT_EQ(white.b, 1.0f);
+    Color4f black = unpackRGB565(packRGB565({0, 0, 0}));
+    EXPECT_FLOAT_EQ(black.r, 0.0f);
+}
+
+TEST(Rgb565Test, QuantizationErrorBounded)
+{
+    SplitMix64 rng(3);
+    for (int i = 0; i < 500; ++i) {
+        Color4f c{rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+        Color4f back = unpackRGB565(packRGB565(c));
+        EXPECT_NEAR(back.r, c.r, 0.5f / 31.0f + 1e-5f);
+        EXPECT_NEAR(back.g, c.g, 0.5f / 63.0f + 1e-5f);
+        EXPECT_NEAR(back.b, c.b, 0.5f / 31.0f + 1e-5f);
+    }
+}
+
+TEST(Bc1BlockTest, SolidBlockDecodesExactlyToEndpointQuantization)
+{
+    RGBA8 texels[16];
+    for (RGBA8 &t : texels)
+        t = packRGBA8({0.5f, 0.25f, 0.75f});
+    Bc1Block block = encodeBc1Block(texels);
+    Color4f ref = unpackRGB565(packRGB565(unpackRGBA8(texels[0])));
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            Color4f d = decodeBc1Texel(block, x, y);
+            EXPECT_NEAR(d.r, ref.r, 1e-6f);
+            EXPECT_NEAR(d.g, ref.g, 1e-6f);
+        }
+    }
+}
+
+TEST(Bc1BlockTest, TwoToneBlockPreservesBothTones)
+{
+    RGBA8 texels[16];
+    for (int i = 0; i < 16; ++i)
+        texels[i] = (i % 2) ? packRGBA8({0.9f, 0.9f, 0.9f})
+                            : packRGBA8({0.1f, 0.1f, 0.1f});
+    Bc1Block block = encodeBc1Block(texels);
+    for (int i = 0; i < 16; ++i) {
+        Color4f d = decodeBc1Texel(block, i % 4, i / 4);
+        float expect = (i % 2) ? 0.9f : 0.1f;
+        EXPECT_NEAR(d.luma(), expect, 0.05f);
+    }
+}
+
+TEST(Bc1BlockTest, GradientErrorBounded)
+{
+    RGBA8 texels[16];
+    for (int i = 0; i < 16; ++i) {
+        float v = i / 15.0f;
+        texels[i] = packRGBA8({v, v, v});
+    }
+    Bc1Block block = encodeBc1Block(texels);
+    double err = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        Color4f d = decodeBc1Texel(block, i % 4, i / 4);
+        err += std::abs(d.luma() - i / 15.0f);
+    }
+    // 4 palette levels over a [0,1] ramp: average error bounded by ~1/6.
+    EXPECT_LT(err / 16.0, 0.17);
+}
+
+TEST(CompressLevelTest, BlockCountCoversLevel)
+{
+    std::vector<RGBA8> texels(64 * 32, packRGBA8({0.3f, 0.3f, 0.3f}));
+    auto blocks = compressLevel(64, 32, texels);
+    EXPECT_EQ(blocks.size(), 16u * 8u);
+    // Non-multiple-of-4 level pads by clamping.
+    std::vector<RGBA8> small(2 * 2, packRGBA8({0.6f, 0.2f, 0.1f}));
+    auto tiny = compressLevel(2, 2, small);
+    EXPECT_EQ(tiny.size(), 1u);
+}
+
+TEST(Bc1TextureTest, RoughlyEightToOneFootprint)
+{
+    auto texels = generateTexture(TextureKind::Noise, 64, 5);
+    TextureMap raw(64, 64, texels, WrapMode::Repeat,
+                   TexelLayout::Tiled4x4, StorageFormat::RGBA8);
+    TextureMap bc1(64, 64, texels, WrapMode::Repeat,
+                   TexelLayout::Tiled4x4, StorageFormat::BC1);
+    // Exactly 8:1 per level of 4x4 blocks; the sub-4x4 pyramid tail pads
+    // to whole blocks, so the aggregate is slightly below 8:1.
+    double ratio = static_cast<double>(raw.sizeBytes()) /
+        static_cast<double>(bc1.sizeBytes());
+    EXPECT_GT(ratio, 7.5);
+    EXPECT_LE(ratio, 8.0);
+    // Level 0 alone is exact.
+    EXPECT_EQ(bc1.texelAddr(0, 0, 0), bc1.baseAddr());
+}
+
+TEST(Bc1TextureTest, BlockTexelsShareOneAddress)
+{
+    auto texels = generateTexture(TextureKind::Noise, 64, 5);
+    TextureMap bc1(64, 64, texels, WrapMode::Repeat,
+                   TexelLayout::Tiled4x4, StorageFormat::BC1);
+    Addr a = bc1.texelAddr(0, 0, 0);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_EQ(bc1.texelAddr(0, x, y), a);
+    EXPECT_NE(bc1.texelAddr(0, 4, 0), a);
+    EXPECT_EQ(bc1.texelAddr(0, 4, 0) - a, Bc1Block::kBytes);
+}
+
+TEST(Bc1TextureTest, DecodedContentCloseToOriginal)
+{
+    auto texels = generateTexture(TextureKind::Marble, 64, 5);
+    TextureMap raw(64, 64, texels);
+    TextureMap bc1(64, 64, texels, WrapMode::Repeat,
+                   TexelLayout::Tiled4x4, StorageFormat::BC1);
+    double err = 0.0;
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            err += std::abs(raw.fetchTexel(0, x, y).luma() -
+                            bc1.fetchTexel(0, x, y).luma());
+    err /= 64.0 * 64.0;
+    EXPECT_GT(err, 0.0);   // Lossy...
+    EXPECT_LT(err, 0.065); // ... but close.
+}
+
+TEST(Bc1TextureTest, WrapModesStillApply)
+{
+    auto texels = generateTexture(TextureKind::Bricks, 32, 9);
+    TextureMap bc1(32, 32, texels, WrapMode::Repeat,
+                   TexelLayout::Tiled4x4, StorageFormat::BC1);
+    EXPECT_EQ(bc1.texelAddr(0, -1, 0), bc1.texelAddr(0, 31, 0));
+    Color4f a = bc1.fetchTexel(0, 33, 2);
+    Color4f b = bc1.fetchTexel(0, 1, 2);
+    EXPECT_FLOAT_EQ(a.r, b.r);
+}

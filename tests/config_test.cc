@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests pinning the baseline configuration to the paper's Table I; if a
+ * default drifts, the reproduction's premise changes and these fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace pargpu;
+
+TEST(TableOneTest, CoreOrganization)
+{
+    GpuConfig c;
+    EXPECT_DOUBLE_EQ(c.frequency_ghz, 1.0);
+    EXPECT_EQ(c.clusters, 4u);
+    EXPECT_EQ(c.shaders_per_cluster, 16u);
+    EXPECT_EQ(c.simd_width, 4u);
+    EXPECT_EQ(c.tile_size, 16u);
+}
+
+TEST(TableOneTest, TextureUnitConfiguration)
+{
+    GpuConfig c;
+    EXPECT_EQ(c.texture_units, 1u);
+    EXPECT_EQ(c.addr_alus, 4u);
+    EXPECT_EQ(c.filter_alus, 8u);
+    EXPECT_EQ(c.cycles_per_trilinear, 2u);
+    EXPECT_EQ(c.max_aniso, 16);
+}
+
+TEST(TableOneTest, CacheHierarchy)
+{
+    GpuConfig c;
+    EXPECT_EQ(c.mem.tc_size, 16u * 1024);
+    EXPECT_EQ(c.mem.tc_assoc, 4u);
+    EXPECT_EQ(c.mem.llc_size, 128u * 1024);
+    EXPECT_EQ(c.mem.llc_assoc, 8u);
+    EXPECT_EQ(c.mem.tc_scale, 1u);
+    EXPECT_EQ(c.mem.llc_scale, 1u);
+}
+
+TEST(TableOneTest, MemoryConfiguration)
+{
+    GpuConfig c;
+    EXPECT_EQ(c.mem.dram.channels, 8u);
+    EXPECT_EQ(c.mem.dram.banks, 8u);
+    EXPECT_EQ(c.mem.dram.bytes_per_cycle, 16u);
+}
+
+TEST(TableOneTest, PatuDefaults)
+{
+    GpuConfig c;
+    EXPECT_EQ(c.patu.scenario, DesignScenario::Patu);
+    EXPECT_FLOAT_EQ(c.patu.threshold, 0.4f); // The paper's average BP.
+    EXPECT_EQ(c.patu.max_aniso, 16);
+    EXPECT_EQ(c.patu.table_entries, 16);
+}
+
+TEST(AddressMapTest, RegionsAreDisjoint)
+{
+    EXPECT_LT(AddressMap::kVertexBase, AddressMap::kTextureBase);
+    EXPECT_LT(AddressMap::kTextureBase, AddressMap::kFramebufferBase);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the DRAM channel/bank model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace pargpu;
+
+TEST(DramTest, FirstAccessIsRowMiss)
+{
+    DramModel dram{DramConfig{}};
+    DramResult r = dram.read(0x1000, 0);
+    EXPECT_FALSE(r.row_hit);
+    EXPECT_GT(r.complete, 0u);
+}
+
+TEST(DramTest, SecondAccessToSameRowHits)
+{
+    // Lines are interleaved across channels, so the next line on the
+    // SAME channel/bank is channels * banks * line_bytes away.
+    DramConfig cfg;
+    DramModel dram(cfg);
+    Addr same_bank_next_line =
+        cfg.line_bytes * cfg.channels * cfg.banks;
+    dram.read(0x0, 0);
+    DramResult r = dram.read(same_bank_next_line, 200);
+    EXPECT_TRUE(r.row_hit);
+}
+
+TEST(DramTest, RowHitIsFasterThanRowMiss)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    DramResult miss = dram.read(0x0, 0);
+    Cycle miss_latency = miss.complete - 0;
+    // Same channel + bank: next line is channels * banks * lines away;
+    // another row of that bank is channels * banks * row_bytes away.
+    Addr same_bank_next_line =
+        cfg.line_bytes * cfg.channels * cfg.banks;
+    Addr same_bank_other_row =
+        cfg.row_bytes * cfg.channels * cfg.banks * 4;
+    Cycle t1 = miss.complete;
+    DramResult hit = dram.read(same_bank_next_line, t1);
+    Cycle hit_latency = hit.complete - t1;
+    DramResult miss2 = dram.read(same_bank_other_row, hit.complete);
+    Cycle miss2_latency = miss2.complete - hit.complete;
+    EXPECT_LT(hit_latency, miss2_latency);
+    EXPECT_LE(hit_latency, miss_latency);
+}
+
+TEST(DramTest, BankConflictSerializes)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // Two concurrent reads to the same bank, different rows.
+    Addr a = 0x0;
+    Addr b = cfg.row_bytes * cfg.channels * cfg.banks;
+    DramResult r1 = dram.read(a, 0);
+    DramResult r2 = dram.read(b, 0);
+    // r2 must wait for the bank to free.
+    EXPECT_GT(r2.complete, r1.complete);
+}
+
+TEST(DramTest, DifferentChannelsProceedInParallel)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // Line-interleaving: consecutive lines land on different channels.
+    DramResult r1 = dram.read(0 * cfg.line_bytes, 0);
+    DramResult r2 = dram.read(1 * cfg.line_bytes, 0);
+    EXPECT_EQ(r1.complete, r2.complete); // Same latency, no serialization.
+}
+
+TEST(DramTest, TrafficCountersAdvance)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    dram.read(0x0, 0);
+    dram.read(0x40, 0);
+    EXPECT_EQ(dram.reads(), 2u);
+    EXPECT_EQ(dram.bytesRead(), 2 * cfg.line_bytes);
+    dram.write(0x1000, 256, 0);
+    EXPECT_EQ(dram.bytesWritten(), 256u);
+}
+
+TEST(DramTest, RowHitRate)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    Addr stride = cfg.line_bytes * cfg.channels * cfg.banks;
+    dram.read(0x0, 0);           // miss
+    dram.read(stride, 200);      // hit (same bank, same row)
+    dram.read(2 * stride, 400);  // hit
+    EXPECT_NEAR(dram.rowHitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(DramTest, ResetStateClosesRowsButKeepsStats)
+{
+    DramModel dram{DramConfig{}};
+    dram.read(0x0, 0);
+    dram.resetState();
+    DramResult r = dram.read(0x40, 0);
+    EXPECT_FALSE(r.row_hit); // Row buffer was closed.
+    EXPECT_EQ(dram.reads(), 2u);
+}
+
+TEST(DramTest, SequentialStreamMostlyRowHits)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    Cycle now = 0;
+    for (Addr a = 0; a < 64 * 1024; a += cfg.line_bytes)
+        now = dram.read(a, now).complete;
+    // A linear sweep should enjoy a high row-buffer hit rate.
+    EXPECT_GT(dram.rowHitRate(), 0.85);
+}
+
+TEST(DramDeathTest, RejectsZeroChannels)
+{
+    DramConfig cfg;
+    cfg.channels = 0;
+    EXPECT_EXIT({ DramModel dram(cfg); }, testing::ExitedWithCode(1),
+                "channel");
+}

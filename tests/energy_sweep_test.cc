@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Parameterized property tests on the energy model: component
+ * proportionality, superposition, and scaling behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+// Activity mix proportioned like a real rendered frame (~3 trilinear
+// samples and ~6 L1 accesses per frame cycle, as the HL2 workload shows).
+FrameStats
+statsScaledBy(double k)
+{
+    FrameStats s;
+    auto u = [k](double v) { return static_cast<std::uint64_t>(v * k); };
+    s.total_cycles = u(500'000);
+    s.shader_busy_cycles = u(400'000);
+    s.trilinear_samples = u(1'500'000);
+    s.addr_ops = u(12'000'000);
+    s.table_accesses = u(400'000);
+    s.l1_hits = u(3'000'000);
+    s.l1_misses = u(280'000);
+    s.llc_hits = u(180'000);
+    s.llc_misses = u(100'000);
+    s.dram_reads = u(100'000);
+    s.dram_row_hits = u(80'000);
+    s.traffic_texture = u(100'000) * 64;
+    return s;
+}
+
+} // namespace
+
+class EnergyScaleTest : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(EnergyScaleTest, EnergyScalesLinearlyWithActivity)
+{
+    double k = GetParam();
+    EnergyBreakdown unit = computeEnergy(statsScaledBy(1.0));
+    EnergyBreakdown scaled = computeEnergy(statsScaledBy(k));
+    EXPECT_NEAR(scaled.total_nj(), unit.total_nj() * k,
+                unit.total_nj() * k * 0.01);
+    EXPECT_NEAR(scaled.static_nj, unit.static_nj * k,
+                unit.static_nj * k * 0.01);
+    EXPECT_NEAR(scaled.dram_nj, unit.dram_nj * k,
+                unit.dram_nj * k * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, EnergyScaleTest,
+                         testing::Values(0.5, 2.0, 4.0, 10.0));
+
+TEST(EnergySuperpositionTest, ComponentsAreIndependent)
+{
+    // Zeroing one activity class removes exactly its component.
+    FrameStats s = statsScaledBy(1.0);
+    EnergyBreakdown full = computeEnergy(s);
+
+    FrameStats no_table = s;
+    no_table.table_accesses = 0;
+    EnergyBreakdown e = computeEnergy(no_table);
+    EXPECT_DOUBLE_EQ(e.table_nj, 0.0);
+    EXPECT_DOUBLE_EQ(e.shader_nj, full.shader_nj);
+    EXPECT_DOUBLE_EQ(e.dram_nj, full.dram_nj);
+    EXPECT_NEAR(full.total_nj() - e.total_nj(), full.table_nj, 1e-9);
+}
+
+TEST(EnergySuperpositionTest, StaticShareIsSubstantial)
+{
+    // The Fig. 20 mechanism — PATU's savings come mostly from shorter
+    // frames — requires a meaningful static share; pin it between 20 %
+    // and 80 % on a representative activity mix.
+    EnergyBreakdown e = computeEnergy(statsScaledBy(1.0));
+    double share = e.static_nj / e.total_nj();
+    EXPECT_GT(share, 0.2);
+    EXPECT_LT(share, 0.8);
+}
+
+TEST(EnergyPowerTest, PowerIndependentOfDurationForFixedRates)
+{
+    // Doubling both time and activity doubles energy, keeping power flat.
+    FrameStats a = statsScaledBy(1.0);
+    FrameStats b = statsScaledBy(2.0);
+    double pa = averagePowerW(computeEnergy(a), a);
+    double pb = averagePowerW(computeEnergy(b), b);
+    EXPECT_NEAR(pa, pb, pa * 0.01);
+}
+
+TEST(EnergyPowerTest, HigherThroughputRaisesPower)
+{
+    // Same duration, more texel work: the Fig. 20 "PATU slightly raises
+    // runtime power" mechanism.
+    FrameStats lean = statsScaledBy(1.0);
+    FrameStats busy = lean;
+    busy.trilinear_samples *= 2;
+    busy.l1_hits *= 2;
+    EXPECT_GT(averagePowerW(computeEnergy(busy), busy),
+              averagePowerW(computeEnergy(lean), lean));
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the energy/power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+FrameStats
+baseStats()
+{
+    FrameStats s;
+    s.total_cycles = 1'000'000;
+    s.shader_busy_cycles = 400'000;
+    s.trilinear_samples = 100'000;
+    s.addr_ops = 800'000;
+    s.table_accesses = 0;
+    s.l1_hits = 500'000;
+    s.l1_misses = 50'000;
+    s.llc_hits = 40'000;
+    s.llc_misses = 10'000;
+    s.dram_reads = 10'000;
+    s.dram_row_hits = 8'000;
+    s.traffic_texture = 10'000 * 64;
+    return s;
+}
+
+} // namespace
+
+TEST(EnergyTest, AllComponentsNonNegative)
+{
+    EnergyBreakdown e = computeEnergy(baseStats());
+    EXPECT_GE(e.shader_nj, 0.0);
+    EXPECT_GE(e.filter_nj, 0.0);
+    EXPECT_GE(e.table_nj, 0.0);
+    EXPECT_GE(e.cache_nj, 0.0);
+    EXPECT_GE(e.dram_nj, 0.0);
+    EXPECT_GT(e.static_nj, 0.0);
+    EXPECT_GT(e.total_nj(), 0.0);
+}
+
+TEST(EnergyTest, TotalIsSumOfComponents)
+{
+    EnergyBreakdown e = computeEnergy(baseStats());
+    double sum = e.shader_nj + e.filter_nj + e.table_nj + e.cache_nj +
+        e.dram_nj + e.static_nj;
+    EXPECT_DOUBLE_EQ(e.total_nj(), sum);
+}
+
+TEST(EnergyTest, MoreTexelWorkCostsMoreEnergy)
+{
+    FrameStats a = baseStats();
+    FrameStats b = baseStats();
+    b.trilinear_samples *= 4;
+    b.addr_ops *= 4;
+    b.l1_hits *= 4;
+    EXPECT_GT(computeEnergy(b).total_nj(), computeEnergy(a).total_nj());
+}
+
+TEST(EnergyTest, ShorterFrameCostsLessStaticEnergy)
+{
+    FrameStats a = baseStats();
+    FrameStats b = baseStats();
+    b.total_cycles /= 2;
+    EnergyBreakdown ea = computeEnergy(a);
+    EnergyBreakdown eb = computeEnergy(b);
+    EXPECT_NEAR(eb.static_nj, ea.static_nj / 2, 1e-9);
+}
+
+TEST(EnergyTest, TableEnergyOnlyWhenAccessed)
+{
+    FrameStats s = baseStats();
+    EXPECT_DOUBLE_EQ(computeEnergy(s).table_nj, 0.0);
+    s.table_accesses = 1000;
+    EXPECT_GT(computeEnergy(s).table_nj, 0.0);
+}
+
+TEST(EnergyTest, RowMissesCostActivationEnergy)
+{
+    FrameStats hits = baseStats();
+    hits.dram_row_hits = hits.dram_reads; // All hits.
+    FrameStats misses = baseStats();
+    misses.dram_row_hits = 0;
+    EXPECT_GT(computeEnergy(misses).dram_nj,
+              computeEnergy(hits).dram_nj);
+}
+
+TEST(EnergyTest, CustomParamsScaleComponents)
+{
+    FrameStats s = baseStats();
+    EnergyParams cheap;
+    cheap.trilinear_pj = 1.0;
+    EnergyParams costly;
+    costly.trilinear_pj = 100.0;
+    EXPECT_GT(computeEnergy(s, costly).filter_nj,
+              computeEnergy(s, cheap).filter_nj);
+}
+
+TEST(PowerTest, AveragePowerMatchesEnergyOverTime)
+{
+    FrameStats s = baseStats();
+    EnergyBreakdown e = computeEnergy(s);
+    double w = averagePowerW(e, s, 1.0);
+    // P = E / t; t = 1e6 cycles at 1 GHz = 1 ms.
+    double expect = e.total_nj() * 1e-9 / 1e-3;
+    EXPECT_NEAR(w, expect, 1e-12);
+}
+
+TEST(PowerTest, ZeroCyclesYieldsZeroPower)
+{
+    FrameStats s;
+    EnergyBreakdown e = computeEnergy(s);
+    EXPECT_DOUBLE_EQ(averagePowerW(e, s), 0.0);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for PATU's 16-entry texel-address hash table (Fig. 14,
+ * component 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hashtable.hh"
+
+#include <cmath>
+
+using namespace pargpu;
+
+namespace
+{
+
+TexelAddrSet
+set8(Addr base)
+{
+    TexelAddrSet s;
+    for (int i = 0; i < 8; ++i)
+        s[i] = base + static_cast<Addr>(i) * 4;
+    return s;
+}
+
+} // namespace
+
+TEST(HashTableTest, EntryBitWidthMatchesPaper)
+{
+    // Section V-D: (8 x 32) + 4 = 260 bits per entry.
+    EXPECT_EQ(TexelAddressTable::kEntryBits, 260u);
+    EXPECT_EQ(TexelAddressTable::kEntries, 16);
+}
+
+TEST(HashTableTest, FirstInsertIsMiss)
+{
+    TexelAddressTable t;
+    EXPECT_FALSE(t.insert(set8(0x100)));
+    EXPECT_EQ(t.distinctSets(), 1);
+    EXPECT_EQ(t.samplesInserted(), 1);
+}
+
+TEST(HashTableTest, DuplicateInsertHits)
+{
+    TexelAddressTable t;
+    t.insert(set8(0x100));
+    EXPECT_TRUE(t.insert(set8(0x100)));
+    EXPECT_EQ(t.distinctSets(), 1);
+    EXPECT_EQ(t.samplesInserted(), 2);
+}
+
+TEST(HashTableTest, PartialOverlapIsNotAMatch)
+{
+    // The hardware compares the full 8-address set; sharing 7 of 8 texels
+    // is a miss.
+    TexelAddressTable t;
+    TexelAddrSet a = set8(0x100);
+    TexelAddrSet b = a;
+    b[7] += 4;
+    t.insert(a);
+    EXPECT_FALSE(t.insert(b));
+    EXPECT_EQ(t.distinctSets(), 2);
+}
+
+TEST(HashTableTest, ProbabilityVectorMatchesPaperExample)
+{
+    // Fig. 11: five samples; three share one set, the other two are
+    // distinct -> P = {0.6, 0.2, 0.2}.
+    TexelAddressTable t;
+    t.insert(set8(0x100));
+    t.insert(set8(0x100));
+    t.insert(set8(0x100));
+    t.insert(set8(0x200));
+    t.insert(set8(0x300));
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_NEAR(p[0], 0.6f, 1e-6f);
+    EXPECT_NEAR(p[1], 0.2f, 1e-6f);
+    EXPECT_NEAR(p[2], 0.2f, 1e-6f);
+}
+
+TEST(HashTableTest, ProbabilityVectorSumsToOne)
+{
+    TexelAddressTable t;
+    for (int i = 0; i < 7; ++i)
+        t.insert(set8(0x100 * (i % 3)));
+    float sum = 0.0f;
+    for (float p : t.probabilityVector())
+        sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(HashTableTest, EmptyTableYieldsEmptyVector)
+{
+    TexelAddressTable t;
+    EXPECT_TRUE(t.probabilityVector().empty());
+}
+
+TEST(HashTableTest, ResetClearsForNextPixel)
+{
+    TexelAddressTable t;
+    t.insert(set8(0x100));
+    t.insert(set8(0x200));
+    t.reset();
+    EXPECT_EQ(t.distinctSets(), 0);
+    EXPECT_EQ(t.samplesInserted(), 0);
+    // Previously stored sets are gone.
+    EXPECT_FALSE(t.insert(set8(0x100)));
+}
+
+TEST(HashTableTest, HoldsMaxAnisoDistinctSets)
+{
+    // 16 entries == the max AF level: a pixel can never overflow it.
+    TexelAddressTable t;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(t.insert(set8(0x1000 * (i + 1))));
+    EXPECT_EQ(t.distinctSets(), 16);
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 16u);
+    for (float pi : p)
+        EXPECT_NEAR(pi, 1.0f / 16.0f, 1e-6f);
+}
+
+TEST(HashTableTest, TopToBottomSearchFindsEarliestEntry)
+{
+    TexelAddressTable t;
+    t.insert(set8(0xA00));
+    t.insert(set8(0xB00));
+    t.insert(set8(0xA00)); // Should hit entry 0, not allocate.
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_NEAR(p[0], 2.0f / 3.0f, 1e-6f);
+    EXPECT_NEAR(p[1], 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(HashTableTest, OverflowedSamplesCountAsSingletons)
+{
+    // An undersized (ablation) table must stay conservative: samples it
+    // cannot store contribute maximum-entropy singleton events.
+    TexelAddressTable t(2);
+    EXPECT_EQ(t.capacity(), 2);
+    t.insert(set8(0x100));
+    t.insert(set8(0x200));
+    t.insert(set8(0x300)); // Dropped (table full).
+    t.insert(set8(0x400)); // Dropped.
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 4u);
+    float sum = 0.0f;
+    for (float pi : p)
+        sum += pi;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    for (float pi : p)
+        EXPECT_NEAR(pi, 0.25f, 1e-6f);
+}
+
+TEST(HashTableTest, OverflowNeverRaisesTxdsAboveFullTable)
+{
+    // For the same insert stream, a smaller table's distribution must
+    // have entropy >= the full table's (conservative direction).
+    for (int small_cap : {2, 4, 8}) {
+        TexelAddressTable small(small_cap), full(16);
+        // Stream: 16 samples over 6 distinct sets with skewed counts.
+        const int plan[16] = {0, 0, 0, 0, 0, 1, 1, 1, 2, 2,
+                              3, 3, 4, 4, 5, 5};
+        for (int s : plan) {
+            small.insert(set8(0x100 * (s + 1)));
+            full.insert(set8(0x100 * (s + 1)));
+        }
+        auto entropy = [](const std::vector<float> &p) {
+            float e = 0.0f;
+            for (float pi : p)
+                if (pi > 0.0f)
+                    e -= pi * std::log2(pi);
+            return e;
+        };
+        EXPECT_GE(entropy(small.probabilityVector()) + 1e-5f,
+                  entropy(full.probabilityVector()))
+            << "capacity " << small_cap;
+    }
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for mipmap pyramid construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "texture/mipmap.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+std::vector<RGBA8>
+solid(int w, int h, RGBA8 c)
+{
+    return std::vector<RGBA8>(static_cast<std::size_t>(w) * h, c);
+}
+
+} // namespace
+
+TEST(MipmapTest, PowerOfTwoPredicate)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(-4));
+    EXPECT_FALSE(isPowerOfTwo(100));
+}
+
+TEST(MipmapTest, LevelCountForSquareTexture)
+{
+    auto levels = buildMipPyramid(16, 16, solid(16, 16, {10, 20, 30, 255}));
+    // 16 -> 8 -> 4 -> 2 -> 1: five levels.
+    ASSERT_EQ(levels.size(), 5u);
+    EXPECT_EQ(levels[0].width, 16);
+    EXPECT_EQ(levels[4].width, 1);
+    EXPECT_EQ(levels[4].height, 1);
+}
+
+TEST(MipmapTest, NonSquarePyramidCollapsesToOneByOne)
+{
+    auto levels = buildMipPyramid(8, 2, solid(8, 2, {0, 0, 0, 255}));
+    // 8x2 -> 4x1 -> 2x1 -> 1x1.
+    ASSERT_EQ(levels.size(), 4u);
+    EXPECT_EQ(levels[1].width, 4);
+    EXPECT_EQ(levels[1].height, 1);
+    EXPECT_EQ(levels.back().width, 1);
+    EXPECT_EQ(levels.back().height, 1);
+}
+
+TEST(MipmapTest, SolidColorIsPreservedAcrossLevels)
+{
+    RGBA8 c{100, 150, 200, 255};
+    auto levels = buildMipPyramid(8, 8, solid(8, 8, c));
+    for (const MipLevel &lv : levels) {
+        for (const RGBA8 &t : lv.texels) {
+            EXPECT_EQ(t.r, c.r);
+            EXPECT_EQ(t.g, c.g);
+            EXPECT_EQ(t.b, c.b);
+        }
+    }
+}
+
+TEST(MipmapTest, BoxFilterAveragesQuads)
+{
+    // 2x2 texture with values 0, 80, 160, 240 averages to 120.
+    std::vector<RGBA8> base = {
+        {0, 0, 0, 255}, {80, 80, 80, 255},
+        {160, 160, 160, 255}, {240, 240, 240, 255},
+    };
+    auto levels = buildMipPyramid(2, 2, base);
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[1].at(0, 0).r, 120);
+}
+
+TEST(MipmapTest, CheckerboardAveragesToGray)
+{
+    std::vector<RGBA8> base;
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            base.push_back(((x + y) & 1) ? RGBA8{255, 255, 255, 255}
+                                         : RGBA8{0, 0, 0, 255});
+    auto levels = buildMipPyramid(4, 4, base);
+    // Every 2x2 quad holds two black and two white texels.
+    for (const RGBA8 &t : levels[1].texels)
+        EXPECT_NEAR(t.r, 128, 1);
+}
+
+TEST(MipmapDeathTest, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(buildMipPyramid(6, 4, solid(6, 4, {})),
+                testing::ExitedWithCode(1), "powers of two");
+}
+
+TEST(MipmapDeathTest, RejectsWrongTexelCount)
+{
+    EXPECT_EXIT(buildMipPyramid(4, 4, solid(2, 2, {})),
+                testing::ExitedWithCode(1), "does not match");
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for the Section V-D PATU overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/overhead.hh"
+
+using namespace pargpu;
+
+TEST(OverheadTest, EntryBitsMatchPaper)
+{
+    OverheadReport r = computeOverhead();
+    // (8 x 32) + 4 = 260 bits per entry.
+    EXPECT_EQ(r.bits_per_entry, 260);
+}
+
+TEST(OverheadTest, TableIsAboutTwoKBPerTextureUnit)
+{
+    OverheadReport r = computeOverhead();
+    // 4 pipelines x 16 entries x 260 bits = 16640 bits = 2080 bytes.
+    EXPECT_NEAR(r.table_bytes_per_tu, 2080.0, 1.0);
+    EXPECT_GT(r.table_bytes_per_tu, 1.8 * 1024);
+    EXPECT_LT(r.table_bytes_per_tu, 2.2 * 1024);
+}
+
+TEST(OverheadTest, AreaPerClusterMatchesPaperBallpark)
+{
+    OverheadReport r = computeOverhead();
+    // Paper: ~0.15 mm^2 per unified shader cluster.
+    EXPECT_GT(r.area_mm2_per_cluster, 0.10);
+    EXPECT_LT(r.area_mm2_per_cluster, 0.20);
+}
+
+TEST(OverheadTest, AreaFractionIsFractionOfAPercent)
+{
+    OverheadReport r = computeOverhead();
+    // Paper: ~0.2 % of a 66 mm^2 GPU.
+    EXPECT_GT(r.area_fraction, 0.001);
+    EXPECT_LT(r.area_fraction, 0.004);
+}
+
+TEST(OverheadTest, AccessLatencyWithinOneCycle)
+{
+    EXPECT_LE(computeOverhead().table_access_cycles, 1);
+}
+
+TEST(OverheadTest, ScalesWithConfiguration)
+{
+    OverheadConfig big;
+    big.table_entries = 32;
+    OverheadReport r32 = computeOverhead(big);
+    OverheadReport r16 = computeOverhead();
+    EXPECT_NEAR(r32.table_bytes_per_tu, 2 * r16.table_bytes_per_tu, 1.0);
+    EXPECT_GT(r32.total_area_mm2, r16.total_area_mm2);
+}

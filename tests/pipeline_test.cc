@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the full GPU pipeline simulator on small controlled
+ * scenes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scenes/meshes.hh"
+#include "sim/pipeline.hh"
+#include "texture/procedural.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+// A minimal scene: one textured ground plane receding from the camera.
+Scene
+groundScene(FilterMode filter = FilterMode::Anisotropic)
+{
+    Scene scene;
+    int tex = scene.addTexture(std::make_unique<TextureMap>(
+        256, 256, generateTexture(TextureKind::Checker, 256, 3)));
+    DrawCall d;
+    d.mesh = makeGrid({-50, 0, 10}, {100, 0, 0}, {0, 0, -200}, 4, 8,
+                      30.0f, 60.0f, tex);
+    d.filter = filter;
+    scene.draws.push_back(std::move(d));
+    return scene;
+}
+
+Camera
+standingCamera(int w, int h)
+{
+    Camera cam;
+    cam.eye = {0, 1.8f, 0};
+    cam.view = Mat4::lookAt(cam.eye, {0, 1.4f, -10}, {0, 1, 0});
+    cam.proj = Mat4::perspective(1.1f, static_cast<float>(w) / h, 0.3f,
+                                 400.0f);
+    return cam;
+}
+
+GpuConfig
+configFor(DesignScenario s, float threshold = 0.4f)
+{
+    GpuConfig c;
+    c.patu.scenario = s;
+    c.patu.threshold = threshold;
+    return c;
+}
+
+} // namespace
+
+TEST(PipelineTest, RendersNonTrivialImage)
+{
+    GpuSimulator sim(configFor(DesignScenario::Baseline));
+    Scene scene = groundScene();
+    FrameOutput out = sim.renderFrame(scene, standingCamera(160, 120),
+                                      160, 120);
+    EXPECT_EQ(out.image.width(), 160);
+    EXPECT_EQ(out.image.height(), 120);
+    EXPECT_GT(out.stats.pixels_shaded, 1000u);
+    EXPECT_GT(out.stats.total_cycles, 0u);
+
+    // The ground must produce varied colors, not a constant clear color.
+    double min_l = 1.0, max_l = 0.0;
+    for (const Color4f &p : out.image.pixels()) {
+        min_l = std::min<double>(min_l, p.luma());
+        max_l = std::max<double>(max_l, p.luma());
+    }
+    EXPECT_GT(max_l - min_l, 0.2);
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns)
+{
+    GpuConfig cfg = configFor(DesignScenario::Patu);
+    Scene scene = groundScene();
+    Camera cam = standingCamera(160, 120);
+    GpuSimulator sim_a(cfg), sim_b(cfg);
+    FrameOutput a = sim_a.renderFrame(scene, cam, 160, 120);
+    FrameOutput b = sim_b.renderFrame(scene, cam, 160, 120);
+    EXPECT_EQ(a.stats.total_cycles, b.stats.total_cycles);
+    EXPECT_EQ(a.stats.texels, b.stats.texels);
+    for (std::size_t i = 0; i < a.image.pixels().size(); i += 97) {
+        EXPECT_FLOAT_EQ(a.image.pixels()[i].r, b.image.pixels()[i].r);
+    }
+}
+
+TEST(PipelineTest, GroundPlaneGeneratesAnisotropy)
+{
+    GpuSimulator sim(configFor(DesignScenario::Baseline));
+    Scene scene = groundScene();
+    FrameOutput out = sim.renderFrame(scene, standingCamera(160, 120),
+                                      160, 120);
+    // A receding plane must produce anisotropic pixels.
+    EXPECT_GT(out.stats.af_candidate_pixels, out.stats.pixels_shaded / 4);
+    // ... and more than 1 trilinear sample per pixel on average.
+    EXPECT_GT(out.stats.trilinear_samples, out.stats.pixels_shaded);
+}
+
+TEST(PipelineTest, DisablingAfReducesCyclesAndTexels)
+{
+    Scene scene = groundScene();
+    Camera cam = standingCamera(160, 120);
+    GpuSimulator base(configFor(DesignScenario::Baseline));
+    GpuSimulator noaf(configFor(DesignScenario::NoAF));
+    FrameOutput b = base.renderFrame(scene, cam, 160, 120);
+    FrameOutput n = noaf.renderFrame(scene, cam, 160, 120);
+    EXPECT_LT(n.stats.texels, b.stats.texels);
+    EXPECT_LT(n.stats.total_cycles, b.stats.total_cycles);
+    EXPECT_LT(n.stats.texture_filter_cycles,
+              b.stats.texture_filter_cycles);
+}
+
+TEST(PipelineTest, PatuBetweenBaselineAndNoAf)
+{
+    Scene scene = groundScene();
+    Camera cam = standingCamera(160, 120);
+    GpuSimulator base(configFor(DesignScenario::Baseline));
+    GpuSimulator patu(configFor(DesignScenario::Patu, 0.4f));
+    GpuSimulator noaf(configFor(DesignScenario::NoAF));
+    Cycle cb = base.renderFrame(scene, cam, 160, 120).stats.total_cycles;
+    Cycle cp = patu.renderFrame(scene, cam, 160, 120).stats.total_cycles;
+    Cycle cn = noaf.renderFrame(scene, cam, 160, 120).stats.total_cycles;
+    EXPECT_LE(cp, cb);
+    EXPECT_GE(cp, cn);
+}
+
+TEST(PipelineTest, DepthTestResolvesOcclusion)
+{
+    // A red plane in front of a green plane: the image must show red.
+    Scene scene;
+    std::vector<RGBA8> red(64 * 64, RGBA8{255, 0, 0, 255});
+    std::vector<RGBA8> green(64 * 64, RGBA8{0, 255, 0, 255});
+    int red_tex = scene.addTexture(
+        std::make_unique<TextureMap>(64, 64, std::move(red)));
+    int green_tex = scene.addTexture(
+        std::make_unique<TextureMap>(64, 64, std::move(green)));
+
+    // Far green wall drawn first... then near red wall.
+    DrawCall far_wall;
+    far_wall.mesh = makeGrid({-20, -10, -30}, {40, 0, 0}, {0, 30, 0},
+                             2, 2, 1, 1, green_tex);
+    far_wall.backface_cull = false;
+    scene.draws.push_back(std::move(far_wall));
+    DrawCall near_wall;
+    near_wall.mesh = makeGrid({-20, -10, -10}, {40, 0, 0}, {0, 30, 0},
+                              2, 2, 1, 1, red_tex);
+    near_wall.backface_cull = false;
+    scene.draws.push_back(std::move(near_wall));
+
+    GpuSimulator sim(configFor(DesignScenario::Baseline));
+    FrameOutput out = sim.renderFrame(scene, standingCamera(64, 64),
+                                      64, 64);
+    const Color4f &center = out.image.at(32, 32);
+    EXPECT_GT(center.r, center.g);
+
+    // Draw order reversed: depth test must still give red.
+    Scene reversed;
+    std::vector<RGBA8> red2(64 * 64, RGBA8{255, 0, 0, 255});
+    std::vector<RGBA8> green2(64 * 64, RGBA8{0, 255, 0, 255});
+    int red_tex2 = reversed.addTexture(
+        std::make_unique<TextureMap>(64, 64, std::move(red2)));
+    int green_tex2 = reversed.addTexture(
+        std::make_unique<TextureMap>(64, 64, std::move(green2)));
+    DrawCall near2;
+    near2.mesh = makeGrid({-20, -10, -10}, {40, 0, 0}, {0, 30, 0}, 2, 2,
+                          1, 1, red_tex2);
+    near2.backface_cull = false;
+    reversed.draws.push_back(std::move(near2));
+    DrawCall far2;
+    far2.mesh = makeGrid({-20, -10, -30}, {40, 0, 0}, {0, 30, 0}, 2, 2,
+                         1, 1, green_tex2);
+    far2.backface_cull = false;
+    reversed.draws.push_back(std::move(far2));
+
+    GpuSimulator sim2(configFor(DesignScenario::Baseline));
+    FrameOutput out2 = sim2.renderFrame(reversed, standingCamera(64, 64),
+                                        64, 64);
+    const Color4f &center2 = out2.image.at(32, 32);
+    EXPECT_GT(center2.r, center2.g);
+}
+
+TEST(PipelineTest, TrafficSplitsAcrossClasses)
+{
+    GpuSimulator sim(configFor(DesignScenario::Baseline));
+    Scene scene = groundScene();
+    FrameOutput out = sim.renderFrame(scene, standingCamera(160, 120),
+                                      160, 120);
+    EXPECT_GT(out.stats.traffic_texture, 0u);
+    EXPECT_GT(out.stats.traffic_colordepth, 0u);
+    EXPECT_GT(out.stats.traffic_geometry, 0u);
+    EXPECT_EQ(out.stats.totalTraffic(),
+              out.stats.traffic_texture + out.stats.traffic_colordepth +
+                  out.stats.traffic_geometry);
+}
+
+TEST(PipelineTest, FpsComputedFromCycles)
+{
+    FrameStats s;
+    s.total_cycles = 20'000'000; // 20 ms at 1 GHz -> 50 fps.
+    EXPECT_NEAR(s.fps(1.0), 50.0, 1e-6);
+}
+
+TEST(PipelineTest, EmptySceneStillCompletes)
+{
+    GpuSimulator sim(configFor(DesignScenario::Baseline));
+    Scene scene;
+    scene.clear_color = {0.3f, 0.1f, 0.2f, 1.0f};
+    FrameOutput out = sim.renderFrame(scene, standingCamera(64, 64),
+                                      64, 64);
+    EXPECT_EQ(out.stats.pixels_shaded, 0u);
+    EXPECT_FLOAT_EQ(out.image.at(10, 10).r, 0.3f);
+}
+
+TEST(PipelineDeathTest, RejectsBadViewport)
+{
+    GpuSimulator sim(configFor(DesignScenario::Baseline));
+    Scene scene;
+    EXPECT_EXIT(sim.renderFrame(scene, standingCamera(0, 0), 0, 64),
+                testing::ExitedWithCode(1), "viewport");
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps over anisotropy ratios,
+ * thresholds and sample distributions, checking the invariants the PATU
+ * design relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/afssim.hh"
+#include "core/hashtable.hh"
+#include "core/patu.hh"
+#include "common/rng.hh"
+#include "texture/procedural.hh"
+#include "texture/sampler.hh"
+
+using namespace pargpu;
+
+// ---------------------------------------------------------------------
+// Anisotropy sweep: for any derivative pair, the sampler must maintain
+// the structural invariants of Section IV-A.
+class AnisotropySweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(AnisotropySweep, InvariantsHoldForRandomDerivatives)
+{
+    static TextureMap tex(128, 128,
+                          generateTexture(TextureKind::Noise, 128, 5));
+    TextureSampler s(tex);
+    SplitMix64 rng(GetParam());
+
+    for (int i = 0; i < 200; ++i) {
+        Vec2 dx{rng.nextFloat(-0.2f, 0.2f), rng.nextFloat(-0.2f, 0.2f)};
+        Vec2 dy{rng.nextFloat(-0.2f, 0.2f), rng.nextFloat(-0.2f, 0.2f)};
+        AnisotropyInfo info = s.computeAnisotropy(dx, dy);
+
+        // N in [1, 16]; pMax >= pMin; LOD ordering.
+        EXPECT_GE(info.sampleSize, 1);
+        EXPECT_LE(info.sampleSize, 16);
+        EXPECT_GE(info.pMax, info.pMin);
+        EXPECT_LE(info.lodAF, info.lodTF + 1e-5f);
+
+        // N covers the axis ratio (when below the cap).
+        float ratio = info.pMax / info.pMin;
+        if (info.sampleSize < 16) {
+            EXPECT_GE(static_cast<float>(info.sampleSize) + 1e-3f,
+                      ratio - 1.0f);
+        }
+
+        // The AF filter produces exactly N samples whose mean position is
+        // the request point.
+        FilterResult r = s.filterAnisotropic({0.5f, 0.5f}, info);
+        EXPECT_EQ(r.samples.size(),
+                  static_cast<std::size_t>(info.sampleSize));
+        float mu = 0, mv = 0;
+        for (const TrilinearSample &ts : r.samples) {
+            mu += ts.uv.x;
+            mv += ts.uv.y;
+            float wsum = 0;
+            for (const TexelRef &t : ts.texels)
+                wsum += t.weight;
+            EXPECT_NEAR(wsum, 1.0f, 1e-4f);
+        }
+        EXPECT_NEAR(mu / r.samples.size(), 0.5f, 1e-4f);
+        EXPECT_NEAR(mv / r.samples.size(), 0.5f, 1e-4f);
+
+        // Filtered color within the texture's value range.
+        EXPECT_GE(r.color.r, -1e-4f);
+        EXPECT_LE(r.color.r, 1.0f + 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnisotropySweep,
+                         testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// AF-SSIM(N) against the exact similarity-degree formula: the sample-size
+// surrogate must be a monotone proxy of Eq. 5 evaluated at mu = N.
+TEST(AfSsimProperty, SurrogateMatchesExactFormulaAtIntegerMu)
+{
+    for (int n = 1; n <= 16; ++n) {
+        float surrogate = afSsimFromSampleSize(n);
+        float exact = afSsimFromSimilarity(static_cast<float>(n));
+        EXPECT_NEAR(surrogate, exact, 2e-4f) << "N=" << n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Txds over random count distributions: entropy-based similarity must be
+// bounded, monotone under concentration, and consistent with the table.
+class TxdsSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(TxdsSweep, RandomDistributionsStayBounded)
+{
+    SplitMix64 rng(GetParam() * 977);
+    for (int trial = 0; trial < 300; ++trial) {
+        int n = 2 + static_cast<int>(rng.nextBounded(15));
+        // Random partition of n samples into groups.
+        TexelAddressTable table;
+        int remaining = n;
+        Addr base = 0x1000;
+        while (remaining > 0) {
+            int group = 1 + static_cast<int>(
+                rng.nextBounded(static_cast<std::uint64_t>(remaining)));
+            TexelAddrSet set;
+            for (int i = 0; i < 8; ++i)
+                set[i] = base + i * 4;
+            for (int g = 0; g < group; ++g)
+                table.insert(set);
+            base += 0x100;
+            remaining -= group;
+        }
+        std::vector<float> p = table.probabilityVector();
+        float sum = 0;
+        for (float pi : p)
+            sum += pi;
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+
+        float t = txds(p, n);
+        EXPECT_GE(t, 0.0f);
+        EXPECT_LE(t, 1.0f);
+        float pred = afSsimFromTxds(t);
+        EXPECT_GE(pred, 0.0f);
+        EXPECT_LE(pred, 1.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxdsSweep, testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Decision-flow properties over the threshold range.
+class ThresholdSweep : public testing::TestWithParam<float>
+{
+};
+
+TEST_P(ThresholdSweep, DecisionsConsistentWithPredictions)
+{
+    float threshold = GetParam();
+    PatuConfig cfg;
+    cfg.scenario = DesignScenario::Patu;
+    cfg.threshold = threshold;
+    PatuUnit unit(cfg);
+
+    for (int n = 1; n <= 16; ++n) {
+        AnisotropyInfo info;
+        info.anisoDegree = n;
+        info.sampleSize = n;
+        info.pMax = static_cast<float>(n);
+        info.pMin = 1.0f;
+        info.lodTF = std::log2(std::max(1.0f, info.pMax));
+        info.lodAF = 0.0f;
+        PixelDecision d = unit.preDecide(info);
+        if (n == 1) {
+            EXPECT_TRUE(d.approximate);
+            continue;
+        }
+        if (afSsimFromSampleSize(n) > threshold) {
+            EXPECT_TRUE(d.approximate) << "N=" << n;
+            EXPECT_EQ(d.stage, DecisionStage::SampleArea);
+        } else {
+            EXPECT_FALSE(d.approximate) << "N=" << n;
+            EXPECT_TRUE(d.need_distribution);
+        }
+    }
+}
+
+TEST_P(ThresholdSweep, ApproximationSetShrinksWithThreshold)
+{
+    // The set of sample sizes approximated at stage 1 is downward closed:
+    // if N is approximated, so is every smaller N > 1.
+    float threshold = GetParam();
+    bool seen_keep = false;
+    for (int n = 2; n <= 16; ++n) {
+        bool approx = afSsimFromSampleSize(n) > threshold;
+        if (!approx)
+            seen_keep = true;
+        if (seen_keep) {
+            EXPECT_FALSE(approx) << "N=" << n;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         testing::Values(0.0f, 0.1f, 0.2f, 0.4f, 0.6f,
+                                         0.8f, 0.95f));
+
+// ---------------------------------------------------------------------
+// Hash-table property: the probability vector always reflects the insert
+// multiset regardless of order.
+TEST(HashTableProperty, OrderIndependentDistribution)
+{
+    SplitMix64 rng(4242);
+    for (int trial = 0; trial < 100; ++trial) {
+        int n = 2 + static_cast<int>(rng.nextBounded(15));
+        std::vector<TexelAddrSet> sets;
+        for (int i = 0; i < n; ++i) {
+            Addr base = 0x100 * (1 + rng.nextBounded(4));
+            TexelAddrSet s;
+            for (int k = 0; k < 8; ++k)
+                s[k] = base + k * 4;
+            sets.push_back(s);
+        }
+        TexelAddressTable fwd, rev;
+        for (int i = 0; i < n; ++i)
+            fwd.insert(sets[i]);
+        for (int i = n - 1; i >= 0; --i)
+            rev.insert(sets[i]);
+        // Entropy (hence Txds) is order independent.
+        float ef = entropyBits(fwd.probabilityVector());
+        float er = entropyBits(rev.probabilityVector());
+        EXPECT_NEAR(ef, er, 1e-5f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sampler property: the trilinear footprint's texel addresses always
+// match the texture's address calculator.
+TEST(SamplerProperty, FootprintAddressesMatchTexture)
+{
+    TextureMap tex(64, 64, generateTexture(TextureKind::Bricks, 64, 9));
+    tex.setBaseAddr(0x2000'0000);
+    TextureSampler s(tex);
+    SplitMix64 rng(31337);
+    for (int i = 0; i < 500; ++i) {
+        Vec2 uv{rng.nextFloat(-1.0f, 2.0f), rng.nextFloat(-1.0f, 2.0f)};
+        float lod = rng.nextFloat(0.0f, 7.0f);
+        TrilinearSample ts = s.trilinear(uv, lod);
+        for (const TexelRef &t : ts.texels)
+            EXPECT_EQ(t.addr, tex.texelAddr(t.level, t.x, t.y));
+    }
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the vsync replay model (Section VI's analysis layer).
+ */
+
+#include <gtest/gtest.h>
+
+#include "replay/replay.hh"
+
+using namespace pargpu;
+
+TEST(ReplayTest, EmptyInputYieldsEmptyResult)
+{
+    ReplayResult r = simulateReplay({});
+    EXPECT_DOUBLE_EQ(r.avg_fps, 0.0);
+    EXPECT_TRUE(r.refreshes_per_frame.empty());
+}
+
+TEST(ReplayTest, RefreshIntervalIs16point7MCyclesAt1Ghz)
+{
+    ReplayConfig cfg;
+    EXPECT_NEAR(static_cast<double>(cfg.refreshCycles()), 1e9 / 60.0,
+                1.0);
+}
+
+TEST(ReplayTest, FastFramesHitSixtyFps)
+{
+    // GPU budget per refresh: interval - cpu half = ~8.33M cycles.
+    std::vector<Cycle> frames(10, 4'000'000);
+    ReplayResult r = simulateReplay(frames);
+    EXPECT_DOUBLE_EQ(r.avg_fps, 60.0);
+    EXPECT_DOUBLE_EQ(r.lag_fraction, 0.0);
+}
+
+TEST(ReplayTest, SlowFrameMissesRefresh)
+{
+    // 12M GPU cycles + 8.33M CPU > one 16.7M interval: takes 2 refreshes.
+    std::vector<Cycle> frames(10, 12'000'000);
+    ReplayResult r = simulateReplay(frames);
+    EXPECT_DOUBLE_EQ(r.avg_fps, 30.0);
+    EXPECT_DOUBLE_EQ(r.lag_fraction, 1.0);
+    for (int refreshes : r.refreshes_per_frame)
+        EXPECT_EQ(refreshes, 2);
+}
+
+TEST(ReplayTest, MixedFramesAverageBetween)
+{
+    std::vector<Cycle> frames = {4'000'000, 12'000'000};
+    ReplayResult r = simulateReplay(frames);
+    EXPECT_DOUBLE_EQ(r.avg_fps, 45.0); // (60 + 30) / 2.
+    EXPECT_DOUBLE_EQ(r.min_fps, 30.0);
+    EXPECT_DOUBLE_EQ(r.max_fps, 60.0);
+    EXPECT_DOUBLE_EQ(r.lag_fraction, 0.5);
+}
+
+TEST(ReplayTest, VerySlowFrameTakesManyRefreshes)
+{
+    std::vector<Cycle> frames = {100'000'000};
+    ReplayResult r = simulateReplay(frames);
+    ASSERT_EQ(r.refreshes_per_frame.size(), 1u);
+    // (8.33M + 100M) / 16.67M -> 7 refreshes.
+    EXPECT_EQ(r.refreshes_per_frame[0], 7);
+}
+
+TEST(ReplayTest, CustomRefreshRateRespected)
+{
+    ReplayConfig cfg;
+    cfg.refresh_hz = 120.0;
+    std::vector<Cycle> frames(4, 1'000'000);
+    ReplayResult r = simulateReplay(frames, cfg);
+    EXPECT_DOUBLE_EQ(r.avg_fps, 120.0);
+}
+
+TEST(ReplayTest, FasterGpuImprovesFps)
+{
+    std::vector<Cycle> slow(8, 20'000'000);
+    std::vector<Cycle> fast(8, 15'000'000);
+    EXPECT_GE(simulateReplay(fast).avg_fps,
+              simulateReplay(slow).avg_fps);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for deterministic random number generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace pargpu;
+
+TEST(SplitMix64Test, DeterministicForSameSeed)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, FloatInUnitInterval)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(SplitMix64Test, FloatRangeRespectsBounds)
+{
+    SplitMix64 rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        float f = rng.nextFloat(-3.0f, 5.0f);
+        EXPECT_GE(f, -3.0f);
+        EXPECT_LT(f, 5.0f);
+    }
+}
+
+TEST(SplitMix64Test, BoundedStaysInBound)
+{
+    SplitMix64 rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(SplitMix64Test, UniformMeanIsCentered)
+{
+    SplitMix64 rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextFloat();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitMix64Test, GaussianMeanAndVariance)
+{
+    SplitMix64 rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(HashCombineTest, DeterministicAndSeedSensitive)
+{
+    EXPECT_EQ(hashCombine(3, 5, 7), hashCombine(3, 5, 7));
+    EXPECT_NE(hashCombine(3, 5, 7), hashCombine(3, 5, 8));
+    EXPECT_NE(hashCombine(3, 5, 7), hashCombine(5, 3, 7));
+}
+
+TEST(HashCombineTest, AvalanchesOnNeighboringInputs)
+{
+    // Neighboring lattice points should produce effectively independent
+    // values: check a weak bit-difference criterion.
+    int total_bits = 0;
+    for (std::uint32_t x = 0; x < 32; ++x) {
+        std::uint32_t a = hashCombine(x, 0, 1);
+        std::uint32_t b = hashCombine(x + 1, 0, 1);
+        total_bits += __builtin_popcount(a ^ b);
+    }
+    // Expect on average ~16 differing bits; allow a broad margin.
+    EXPECT_GT(total_bits, 32 * 8);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for mesh builders and procedural game scenes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scenes/meshes.hh"
+#include "scenes/scenes.hh"
+
+using namespace pargpu;
+
+TEST(MeshTest, GridHasExpectedCounts)
+{
+    Mesh m = makeGrid({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, 4, 3, 2.0f, 3.0f,
+                      0);
+    EXPECT_EQ(m.vertices.size(), 5u * 4u);
+    EXPECT_EQ(m.numTriangles(), 4u * 3u * 2u);
+    EXPECT_EQ(m.indices.size(), m.numTriangles() * 3);
+}
+
+TEST(MeshTest, GridUvSpansRequestedScale)
+{
+    Mesh m = makeGrid({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, 2, 2, 8.0f, 4.0f,
+                      0);
+    float max_u = 0.0f, max_v = 0.0f;
+    for (const Vertex &v : m.vertices) {
+        max_u = std::max(max_u, v.uv.x);
+        max_v = std::max(max_v, v.uv.y);
+    }
+    EXPECT_FLOAT_EQ(max_u, 8.0f);
+    EXPECT_FLOAT_EQ(max_v, 4.0f);
+}
+
+TEST(MeshTest, GridIndicesInRange)
+{
+    Mesh m = makeGrid({0, 0, 0}, {2, 0, 0}, {0, 1, 0}, 5, 7, 1, 1, 0);
+    for (std::uint32_t i : m.indices)
+        EXPECT_LT(i, m.vertices.size());
+}
+
+TEST(MeshTest, BoxHasSixFaces)
+{
+    Mesh m;
+    m.texture_id = 0;
+    appendBox(m, {0, 0, 0}, {1, 1, 1}, 1.0f);
+    EXPECT_EQ(m.numTriangles(), 12u);
+    EXPECT_EQ(m.vertices.size(), 24u);
+}
+
+TEST(MeshTest, BoxVerticesWithinExtents)
+{
+    Mesh m;
+    appendBox(m, {1, 2, 3}, {0.5f, 1.0f, 2.0f}, 1.0f);
+    for (const Vertex &v : m.vertices) {
+        EXPECT_GE(v.pos.x, 0.5f - 1e-5f);
+        EXPECT_LE(v.pos.x, 1.5f + 1e-5f);
+        EXPECT_GE(v.pos.y, 1.0f - 1e-5f);
+        EXPECT_LE(v.pos.y, 3.0f + 1e-5f);
+        EXPECT_GE(v.pos.z, 1.0f - 1e-5f);
+        EXPECT_LE(v.pos.z, 5.0f + 1e-5f);
+    }
+}
+
+TEST(MeshTest, AppendMeshRebasesIndices)
+{
+    Mesh a = makeGrid({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 1, 1, 1, 1, 0);
+    Mesh b = makeGrid({5, 0, 0}, {1, 0, 0}, {0, 1, 0}, 1, 1, 1, 1, 0);
+    std::size_t averts = a.vertices.size();
+    appendMesh(a, b);
+    EXPECT_EQ(a.vertices.size(), 2 * averts);
+    // Later indices must reference the second vertex block.
+    bool any_rebased = false;
+    for (std::size_t i = 6; i < a.indices.size(); ++i)
+        any_rebased |= a.indices[i] >= averts;
+    EXPECT_TRUE(any_rebased);
+}
+
+class GameSceneTest : public testing::TestWithParam<GameId>
+{
+};
+
+TEST_P(GameSceneTest, TraceIsWellFormed)
+{
+    GameTrace t = buildGameTrace(GetParam(), 320, 240, 2);
+    EXPECT_FALSE(t.scene.draws.empty());
+    EXPECT_FALSE(t.scene.textures.empty());
+    EXPECT_EQ(t.cameras.size(), 2u);
+    EXPECT_EQ(t.recipes.size(), t.scene.textures.size());
+    EXPECT_EQ(t.width, 320);
+    EXPECT_EQ(t.height, 240);
+    // Every draw references a valid texture.
+    for (const DrawCall &d : t.scene.draws) {
+        EXPECT_GE(d.mesh.texture_id, 0);
+        EXPECT_LT(d.mesh.texture_id,
+                  static_cast<int>(t.scene.textures.size()));
+        EXPECT_FALSE(d.mesh.vertices.empty());
+        EXPECT_EQ(d.mesh.indices.size() % 3, 0u);
+    }
+}
+
+TEST_P(GameSceneTest, TexturesBoundAtDisjointAddresses)
+{
+    GameTrace t = buildGameTrace(GetParam(), 320, 240, 1);
+    for (std::size_t i = 0; i + 1 < t.scene.textures.size(); ++i) {
+        const TextureMap &a = *t.scene.textures[i];
+        const TextureMap &b = *t.scene.textures[i + 1];
+        EXPECT_GE(b.baseAddr(), a.baseAddr() + a.sizeBytes());
+    }
+}
+
+TEST_P(GameSceneTest, DeterministicAcrossBuilds)
+{
+    GameTrace a = buildGameTrace(GetParam(), 320, 240, 2);
+    GameTrace b = buildGameTrace(GetParam(), 320, 240, 2);
+    ASSERT_EQ(a.scene.draws.size(), b.scene.draws.size());
+    ASSERT_EQ(a.cameras.size(), b.cameras.size());
+    for (std::size_t i = 0; i < a.scene.draws.size(); ++i) {
+        EXPECT_EQ(a.scene.draws[i].mesh.vertices.size(),
+                  b.scene.draws[i].mesh.vertices.size());
+    }
+    for (std::size_t i = 0; i < a.cameras.size(); ++i) {
+        EXPECT_FLOAT_EQ(a.cameras[i].eye.x, b.cameras[i].eye.x);
+        EXPECT_FLOAT_EQ(a.cameras[i].eye.z, b.cameras[i].eye.z);
+    }
+}
+
+TEST_P(GameSceneTest, CameraMovesAcrossFrames)
+{
+    GameTrace t = buildGameTrace(GetParam(), 320, 240, 3);
+    ASSERT_EQ(t.cameras.size(), 3u);
+    float d01 = (t.cameras[1].eye - t.cameras[0].eye).length();
+    EXPECT_GT(d01, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGames, GameSceneTest,
+    testing::Values(GameId::HL2, GameId::Doom3, GameId::Grid, GameId::Nfs,
+                    GameId::Stalker, GameId::Ut3, GameId::Wolf,
+                    GameId::RBench));
+
+TEST(PaperBenchmarksTest, MatchesTableTwo)
+{
+    auto list = paperBenchmarks();
+    EXPECT_EQ(list.size(), 11u); // 3 + 3 HL2/doom3 resolutions + 5 games.
+    int hl2 = 0, doom3 = 0;
+    for (const BenchmarkEntry &e : list) {
+        if (e.id == GameId::HL2)
+            ++hl2;
+        if (e.id == GameId::Doom3)
+            ++doom3;
+    }
+    EXPECT_EQ(hl2, 3);
+    EXPECT_EQ(doom3, 3);
+}
+
+TEST(GameAbbrTest, NamesMatchPaperTable)
+{
+    EXPECT_STREQ(gameAbbr(GameId::HL2), "HL2");
+    EXPECT_STREQ(gameAbbr(GameId::Doom3), "doom3");
+    EXPECT_STREQ(gameAbbr(GameId::Stalker), "stal");
+    EXPECT_STREQ(gameAbbr(GameId::Wolf), "wolf");
+}
+
+TEST(GameSceneDeathTest, RejectsInvalidDimensions)
+{
+    EXPECT_EXIT(buildGameTrace(GameId::HL2, 0, 240, 1),
+                testing::ExitedWithCode(1), "invalid");
+}

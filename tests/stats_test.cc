@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the stats registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace pargpu;
+
+TEST(StatRegistryTest, CountersStartAtZero)
+{
+    StatRegistry s;
+    EXPECT_EQ(s.counter("never.touched"), 0u);
+    EXPECT_FALSE(s.hasCounter("never.touched"));
+}
+
+TEST(StatRegistryTest, IncrementAccumulates)
+{
+    StatRegistry s;
+    s.inc("a");
+    s.inc("a", 5);
+    EXPECT_EQ(s.counter("a"), 6u);
+    EXPECT_TRUE(s.hasCounter("a"));
+}
+
+TEST(StatRegistryTest, ScalarsSetAndRead)
+{
+    StatRegistry s;
+    s.set("x", 3.25);
+    EXPECT_DOUBLE_EQ(s.scalar("x"), 3.25);
+    s.set("x", -1.0);
+    EXPECT_DOUBLE_EQ(s.scalar("x"), -1.0);
+    EXPECT_DOUBLE_EQ(s.scalar("missing"), 0.0);
+}
+
+TEST(StatRegistryTest, ResetClearsEverything)
+{
+    StatRegistry s;
+    s.inc("a", 10);
+    s.set("b", 1.0);
+    s.reset();
+    EXPECT_EQ(s.counter("a"), 0u);
+    EXPECT_DOUBLE_EQ(s.scalar("b"), 0.0);
+    EXPECT_FALSE(s.hasCounter("a"));
+}
+
+TEST(StatRegistryTest, DumpIsSortedByName)
+{
+    StatRegistry s;
+    s.inc("z.last", 1);
+    s.inc("a.first", 2);
+    std::ostringstream os;
+    s.dump(os);
+    std::string out = os.str();
+    auto pos_a = out.find("a.first");
+    auto pos_z = out.find("z.last");
+    ASSERT_NE(pos_a, std::string::npos);
+    ASSERT_NE(pos_z, std::string::npos);
+    EXPECT_LT(pos_a, pos_z);
+}

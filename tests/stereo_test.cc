@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the multi-view (stereo VR) rendering extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scenes/meshes.hh"
+#include "sim/stereo.hh"
+#include "texture/procedural.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+Scene
+simpleScene()
+{
+    Scene scene;
+    int tex = scene.addTexture(std::make_unique<TextureMap>(
+        128, 128, generateTexture(TextureKind::Checker, 128, 3)));
+    DrawCall d;
+    d.mesh = makeGrid({-30, 0, 5}, {60, 0, 0}, {0, 0, -80}, 4, 4, 8.0f,
+                      10.0f, tex);
+    scene.draws.push_back(std::move(d));
+    return scene;
+}
+
+Camera
+centerCamera()
+{
+    Camera cam;
+    cam.eye = {0, 1.7f, 0};
+    cam.view = Mat4::lookAt(cam.eye, {0, 1.2f, -10}, {0, 1, 0});
+    cam.proj = Mat4::perspective(1.1f, 4.0f / 3.0f, 0.3f, 200.0f);
+    return cam;
+}
+
+} // namespace
+
+TEST(StereoTest, EyesAreSymmetricallyOffset)
+{
+    Camera center = centerCamera();
+    StereoConfig cfg;
+    Camera left = stereoEye(center, 0, cfg);
+    Camera right = stereoEye(center, 1, cfg);
+    // View-space translation differs by exactly the IPD.
+    EXPECT_NEAR(right.view.m[3][0] - left.view.m[3][0], -cfg.ipd, 1e-6f);
+    // World eye positions straddle the center.
+    EXPECT_NEAR(left.eye.x + right.eye.x, 2.0f * center.eye.x, 1e-5f);
+}
+
+TEST(StereoTest, ZeroIpdEqualsMono)
+{
+    Camera center = centerCamera();
+    StereoConfig cfg;
+    cfg.ipd = 0.0f;
+    Camera left = stereoEye(center, 0, cfg);
+    EXPECT_FLOAT_EQ(left.view.m[3][0], center.view.m[3][0]);
+    EXPECT_FLOAT_EQ(left.eye.x, center.eye.x);
+}
+
+TEST(StereoTest, RendersBothEyes)
+{
+    GpuConfig config;
+    GpuSimulator sim(config);
+    Scene scene = simpleScene();
+    StereoFrame frame =
+        renderStereo(sim, scene, centerCamera(), 160, 120);
+    EXPECT_EQ(frame.left.image.width(), 160);
+    EXPECT_EQ(frame.right.image.width(), 160);
+    EXPECT_GT(frame.left.stats.pixels_shaded, 0u);
+    EXPECT_GT(frame.right.stats.pixels_shaded, 0u);
+    EXPECT_EQ(frame.totalCycles(), frame.left.stats.total_cycles +
+                                       frame.right.stats.total_cycles);
+}
+
+TEST(StereoTest, EyesSeeSlightlyDifferentImages)
+{
+    GpuConfig config;
+    GpuSimulator sim(config);
+    Scene scene = simpleScene();
+    StereoConfig cfg;
+    cfg.ipd = 0.6f; // Exaggerated for a visible parallax at low res.
+    StereoFrame frame =
+        renderStereo(sim, scene, centerCamera(), 160, 120, cfg);
+    int differing = 0;
+    for (int y = 0; y < 120; ++y) {
+        for (int x = 0; x < 160; ++x) {
+            if (std::abs(frame.left.image.at(x, y).luma() -
+                         frame.right.image.at(x, y).luma()) > 0.02f)
+                ++differing;
+        }
+    }
+    EXPECT_GT(differing, 100);
+}
+
+TEST(StereoTest, StereoCostsRoughlyTwiceMono)
+{
+    GpuConfig config;
+    GpuSimulator sim(config);
+    Scene scene = simpleScene();
+    Camera cam = centerCamera();
+    FrameOutput mono = sim.renderFrame(scene, cam, 160, 120);
+    StereoFrame stereo = renderStereo(sim, scene, cam, 160, 120);
+    double ratio = static_cast<double>(stereo.totalCycles()) /
+        static_cast<double>(mono.stats.total_cycles);
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.4);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for texture maps and texel addressing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "texture/texture.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+std::vector<RGBA8>
+ramp(int w, int h)
+{
+    std::vector<RGBA8> t;
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            t.push_back({static_cast<std::uint8_t>(x * 8),
+                         static_cast<std::uint8_t>(y * 8), 0, 255});
+    return t;
+}
+
+} // namespace
+
+TEST(TextureMapTest, SizeCoversAllLevels)
+{
+    TextureMap tex(8, 8, ramp(8, 8));
+    // 8x8 + 4x4 + 2x2 + 1x1 texels, 4 bytes each.
+    EXPECT_EQ(tex.sizeBytes(), (64u + 16 + 4 + 1) * 4);
+    EXPECT_EQ(tex.numLevels(), 4);
+}
+
+TEST(TextureMapTest, WrapRepeatWrapsNegativeAndOverflow)
+{
+    EXPECT_EQ(TextureMap::wrapCoord(-1, 8, WrapMode::Repeat), 7);
+    EXPECT_EQ(TextureMap::wrapCoord(8, 8, WrapMode::Repeat), 0);
+    EXPECT_EQ(TextureMap::wrapCoord(17, 8, WrapMode::Repeat), 1);
+    EXPECT_EQ(TextureMap::wrapCoord(-9, 8, WrapMode::Repeat), 7);
+}
+
+TEST(TextureMapTest, WrapClampClampsToEdges)
+{
+    EXPECT_EQ(TextureMap::wrapCoord(-5, 8, WrapMode::ClampToEdge), 0);
+    EXPECT_EQ(TextureMap::wrapCoord(3, 8, WrapMode::ClampToEdge), 3);
+    EXPECT_EQ(TextureMap::wrapCoord(12, 8, WrapMode::ClampToEdge), 7);
+}
+
+TEST(TextureMapTest, AddressesAreUniquePerTexelWithinLevel)
+{
+    TextureMap tex(16, 16, ramp(16, 16));
+    std::set<Addr> addrs;
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            addrs.insert(tex.texelAddr(0, x, y));
+    EXPECT_EQ(addrs.size(), 256u);
+}
+
+TEST(TextureMapTest, LevelsOccupyDisjointAddressRanges)
+{
+    TextureMap tex(8, 8, ramp(8, 8));
+    std::set<Addr> addrs;
+    for (int l = 0; l < tex.numLevels(); ++l) {
+        const MipLevel &lv = tex.level(l);
+        for (int y = 0; y < lv.height; ++y)
+            for (int x = 0; x < lv.width; ++x)
+                addrs.insert(tex.texelAddr(l, x, y));
+    }
+    EXPECT_EQ(addrs.size(), 64u + 16 + 4 + 1);
+}
+
+TEST(TextureMapTest, BaseAddressOffsetsAllTexels)
+{
+    TextureMap tex(4, 4, ramp(4, 4));
+    Addr before = tex.texelAddr(0, 2, 2);
+    tex.setBaseAddr(0x1000);
+    EXPECT_EQ(tex.texelAddr(0, 2, 2), before + 0x1000);
+}
+
+TEST(TextureMapTest, WrappedCoordsAliasSameAddress)
+{
+    TextureMap tex(8, 8, ramp(8, 8), WrapMode::Repeat);
+    EXPECT_EQ(tex.texelAddr(0, -1, 3), tex.texelAddr(0, 7, 3));
+    EXPECT_EQ(tex.texelAddr(0, 8, 0), tex.texelAddr(0, 0, 0));
+}
+
+TEST(TextureMapTest, TiledLayoutKeepsTileInOneBlock)
+{
+    TextureMap tex(16, 16, ramp(16, 16), WrapMode::Repeat,
+                   TexelLayout::Tiled4x4);
+    // All 16 texels of the 4x4 tile at origin must land within one
+    // 64-byte block.
+    Addr lo = ~Addr{0}, hi = 0;
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            Addr a = tex.texelAddr(0, x, y);
+            lo = std::min(lo, a);
+            hi = std::max(hi, a);
+        }
+    }
+    EXPECT_EQ(hi - lo, 60u); // 16 texels * 4 B: contiguous.
+}
+
+TEST(TextureMapTest, LinearLayoutIsRowMajor)
+{
+    TextureMap tex(8, 8, ramp(8, 8), WrapMode::Repeat,
+                   TexelLayout::Linear);
+    EXPECT_EQ(tex.texelAddr(0, 1, 0) - tex.texelAddr(0, 0, 0), 4u);
+    EXPECT_EQ(tex.texelAddr(0, 0, 1) - tex.texelAddr(0, 0, 0), 32u);
+}
+
+TEST(TextureMapTest, FetchTexelAppliesWrap)
+{
+    TextureMap tex(4, 4, ramp(4, 4), WrapMode::Repeat);
+    Color4f direct = tex.fetchTexel(0, 1, 2);
+    Color4f wrapped = tex.fetchTexel(0, 5, -2);
+    EXPECT_FLOAT_EQ(direct.r, wrapped.r);
+    EXPECT_FLOAT_EQ(direct.g, wrapped.g);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the simulated user-study model (Section VII-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "replay/userstudy.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+ReplayCondition
+cond(double mssim, double fps, int w = 1280, int h = 1024)
+{
+    ReplayCondition c;
+    c.mssim = mssim;
+    c.avg_fps = fps;
+    c.width = w;
+    c.height = h;
+    return c;
+}
+
+} // namespace
+
+TEST(UserStudyTest, ScoresWithinScale)
+{
+    for (double q : {0.5, 0.8, 0.93, 1.0}) {
+        for (double f : {15.0, 30.0, 60.0}) {
+            double s = satisfactionScore(cond(q, f));
+            EXPECT_GE(s, 1.0);
+            EXPECT_LE(s, 5.0);
+        }
+    }
+}
+
+TEST(UserStudyTest, Deterministic)
+{
+    double a = satisfactionScore(cond(0.9, 45.0));
+    double b = satisfactionScore(cond(0.9, 45.0));
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(UserStudyTest, PerfectConditionScoresHigh)
+{
+    EXPECT_GT(satisfactionScore(cond(1.0, 60.0)), 4.3);
+}
+
+TEST(UserStudyTest, TerribleConditionScoresLow)
+{
+    EXPECT_LT(satisfactionScore(cond(0.5, 10.0)), 2.0);
+}
+
+TEST(UserStudyTest, QualityAboveSaturationIndistinguishable)
+{
+    // MSSIM at/above the saturation point is visually transparent:
+    // scores equal at the same fps.
+    UserStudyConfig cfg;
+    double a = satisfactionScore(cond(cfg.mssim_saturation, 60.0), cfg);
+    double b = satisfactionScore(cond(1.00, 60.0), cfg);
+    EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(UserStudyTest, PerceivedQualityMappingEndpoints)
+{
+    UserStudyConfig cfg;
+    EXPECT_DOUBLE_EQ(perceivedQuality(cfg.mssim_floor, cfg), 0.0);
+    EXPECT_DOUBLE_EQ(perceivedQuality(cfg.mssim_saturation, cfg), 1.0);
+    EXPECT_DOUBLE_EQ(perceivedQuality(0.0, cfg), 0.0);
+    EXPECT_DOUBLE_EQ(perceivedQuality(1.0, cfg), 1.0);
+    double mid = 0.5 * (cfg.mssim_floor + cfg.mssim_saturation);
+    EXPECT_NEAR(perceivedQuality(mid, cfg), 0.5, 1e-9);
+}
+
+TEST(UserStudyTest, HigherFpsPreferredAtSameQuality)
+{
+    EXPECT_GT(satisfactionScore(cond(0.95, 60.0)),
+              satisfactionScore(cond(0.95, 30.0)));
+}
+
+TEST(UserStudyTest, HigherQualityPreferredAtSameFps)
+{
+    // Compare two conditions inside the discriminating band of the
+    // content-calibrated quality mapping.
+    UserStudyConfig cfg;
+    double mid = 0.5 * (cfg.mssim_floor + cfg.mssim_saturation);
+    EXPECT_GT(satisfactionScore(cond(cfg.mssim_saturation, 45.0), cfg),
+              satisfactionScore(cond(mid, 45.0), cfg));
+    EXPECT_GT(satisfactionScore(cond(mid, 45.0), cfg),
+              satisfactionScore(cond(cfg.mssim_floor, 45.0), cfg));
+}
+
+TEST(UserStudyTest, LagPenalizedBeyondFps)
+{
+    ReplayCondition smooth = cond(0.95, 40.0);
+    ReplayCondition stutter = cond(0.95, 40.0);
+    stutter.lag_fraction = 0.8;
+    EXPECT_GT(satisfactionScore(smooth), satisfactionScore(stutter));
+}
+
+TEST(PerformanceWeightTest, GrowsWithResolution)
+{
+    double low = performanceWeight(640, 480);
+    double mid = performanceWeight(1280, 1024);
+    double high = performanceWeight(1600, 1200);
+    EXPECT_LT(low, mid);
+    EXPECT_LT(mid, high);
+}
+
+TEST(PerformanceWeightTest, Bounded)
+{
+    EXPECT_GE(performanceWeight(160, 120), 0.25);
+    EXPECT_LE(performanceWeight(7680, 4320), 0.75);
+}
+
+TEST(UserStudyTest, ResolutionShiftsTradeoffPreference)
+{
+    // The paper's Fig. 22 observation: at high resolution users prefer the
+    // faster-but-slightly-degraded condition; at low resolution the
+    // higher-quality one.
+    ReplayCondition fast_lossy_hi = cond(0.90, 60.0, 1600, 1200);
+    ReplayCondition slow_clean_hi = cond(1.00, 30.0, 1600, 1200);
+    EXPECT_GT(satisfactionScore(fast_lossy_hi),
+              satisfactionScore(slow_clean_hi));
+
+    ReplayCondition fast_lossy_lo = cond(0.75, 60.0, 640, 480);
+    ReplayCondition slow_clean_lo = cond(1.00, 40.0, 640, 480);
+    EXPECT_LT(satisfactionScore(fast_lossy_lo),
+              satisfactionScore(slow_clean_lo));
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the vector/matrix math substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/vec.hh"
+
+using namespace pargpu;
+
+TEST(Vec2Test, ArithmeticOperators)
+{
+    Vec2 a{1.0f, 2.0f}, b{3.0f, -4.0f};
+    Vec2 s = a + b;
+    EXPECT_FLOAT_EQ(s.x, 4.0f);
+    EXPECT_FLOAT_EQ(s.y, -2.0f);
+    Vec2 d = a - b;
+    EXPECT_FLOAT_EQ(d.x, -2.0f);
+    EXPECT_FLOAT_EQ(d.y, 6.0f);
+    Vec2 m = a * 2.0f;
+    EXPECT_FLOAT_EQ(m.x, 2.0f);
+    EXPECT_FLOAT_EQ(m.y, 4.0f);
+}
+
+TEST(Vec2Test, DotAndLength)
+{
+    Vec2 a{3.0f, 4.0f};
+    EXPECT_FLOAT_EQ(a.dot(a), 25.0f);
+    EXPECT_FLOAT_EQ(a.length(), 5.0f);
+}
+
+TEST(Vec3Test, CrossProductOrthogonality)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0};
+    Vec3 z = x.cross(y);
+    EXPECT_FLOAT_EQ(z.x, 0.0f);
+    EXPECT_FLOAT_EQ(z.y, 0.0f);
+    EXPECT_FLOAT_EQ(z.z, 1.0f);
+}
+
+TEST(Vec3Test, NormalizedHasUnitLength)
+{
+    Vec3 v{2.0f, -3.0f, 6.0f};
+    EXPECT_NEAR(v.normalized().length(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3Test, NormalizedZeroVectorIsZero)
+{
+    Vec3 v{};
+    Vec3 n = v.normalized();
+    EXPECT_FLOAT_EQ(n.x, 0.0f);
+    EXPECT_FLOAT_EQ(n.y, 0.0f);
+    EXPECT_FLOAT_EQ(n.z, 0.0f);
+}
+
+TEST(Mat4Test, IdentityPreservesVector)
+{
+    Mat4 id = Mat4::identity();
+    Vec4 v{1.0f, -2.0f, 3.0f, 1.0f};
+    Vec4 r = id * v;
+    EXPECT_FLOAT_EQ(r.x, v.x);
+    EXPECT_FLOAT_EQ(r.y, v.y);
+    EXPECT_FLOAT_EQ(r.z, v.z);
+    EXPECT_FLOAT_EQ(r.w, v.w);
+}
+
+TEST(Mat4Test, TranslateMovesPoint)
+{
+    Mat4 t = Mat4::translate({1, 2, 3});
+    Vec4 r = t * Vec4{0, 0, 0, 1};
+    EXPECT_FLOAT_EQ(r.x, 1.0f);
+    EXPECT_FLOAT_EQ(r.y, 2.0f);
+    EXPECT_FLOAT_EQ(r.z, 3.0f);
+}
+
+TEST(Mat4Test, TranslateIgnoresDirection)
+{
+    // w == 0 vectors (directions) must not be translated.
+    Mat4 t = Mat4::translate({5, 5, 5});
+    Vec4 r = t * Vec4{1, 0, 0, 0};
+    EXPECT_FLOAT_EQ(r.x, 1.0f);
+    EXPECT_FLOAT_EQ(r.y, 0.0f);
+    EXPECT_FLOAT_EQ(r.z, 0.0f);
+}
+
+TEST(Mat4Test, MatrixProductComposesTransforms)
+{
+    Mat4 t = Mat4::translate({1, 0, 0});
+    Mat4 s = Mat4::scale({2, 2, 2});
+    // (t * s) applies scale first, then translate.
+    Vec4 r = (t * s) * Vec4{1, 1, 1, 1};
+    EXPECT_FLOAT_EQ(r.x, 3.0f);
+    EXPECT_FLOAT_EQ(r.y, 2.0f);
+    EXPECT_FLOAT_EQ(r.z, 2.0f);
+}
+
+TEST(Mat4Test, RotateYQuarterTurn)
+{
+    Mat4 r = Mat4::rotateY(3.14159265f / 2.0f);
+    Vec4 v = r * Vec4{1, 0, 0, 1};
+    EXPECT_NEAR(v.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(v.z, -1.0f, 1e-5f);
+}
+
+TEST(Mat4Test, PerspectiveMapsNearPlaneToMinusW)
+{
+    Mat4 p = Mat4::perspective(1.0f, 1.0f, 1.0f, 100.0f);
+    // A point on the near plane (z_eye = -near) maps to z_clip = -w_clip.
+    Vec4 r = p * Vec4{0, 0, -1.0f, 1};
+    EXPECT_NEAR(r.z, -r.w, 1e-5f);
+}
+
+TEST(Mat4Test, PerspectiveMapsFarPlaneToPlusW)
+{
+    Mat4 p = Mat4::perspective(1.0f, 1.0f, 1.0f, 100.0f);
+    Vec4 r = p * Vec4{0, 0, -100.0f, 1};
+    EXPECT_NEAR(r.z, r.w, 1e-3f);
+}
+
+TEST(Mat4Test, LookAtPlacesEyeAtOrigin)
+{
+    Mat4 v = Mat4::lookAt({5, 3, 8}, {0, 0, 0}, {0, 1, 0});
+    Vec4 r = v * Vec4{5, 3, 8, 1};
+    EXPECT_NEAR(r.x, 0.0f, 1e-4f);
+    EXPECT_NEAR(r.y, 0.0f, 1e-4f);
+    EXPECT_NEAR(r.z, 0.0f, 1e-4f);
+}
+
+TEST(Mat4Test, LookAtViewsTargetDownNegativeZ)
+{
+    Mat4 v = Mat4::lookAt({0, 0, 10}, {0, 0, 0}, {0, 1, 0});
+    Vec4 r = v * Vec4{0, 0, 0, 1};
+    EXPECT_NEAR(r.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.y, 0.0f, 1e-5f);
+    EXPECT_LT(r.z, 0.0f);
+}
