@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hash_table.dir/abl_hash_table.cc.o"
+  "CMakeFiles/abl_hash_table.dir/abl_hash_table.cc.o.d"
+  "abl_hash_table"
+  "abl_hash_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

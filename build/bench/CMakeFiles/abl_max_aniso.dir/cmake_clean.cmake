@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_max_aniso.dir/abl_max_aniso.cc.o"
+  "CMakeFiles/abl_max_aniso.dir/abl_max_aniso.cc.o.d"
+  "abl_max_aniso"
+  "abl_max_aniso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_max_aniso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_texture_layout.dir/abl_texture_layout.cc.o"
+  "CMakeFiles/abl_texture_layout.dir/abl_texture_layout.cc.o.d"
+  "abl_texture_layout"
+  "abl_texture_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_texture_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vr_stereo.dir/abl_vr_stereo.cc.o"
+  "CMakeFiles/abl_vr_stereo.dir/abl_vr_stereo.cc.o.d"
+  "abl_vr_stereo"
+  "abl_vr_stereo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vr_stereo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_rbench_fps.dir/fig04_rbench_fps.cc.o"
+  "CMakeFiles/fig04_rbench_fps.dir/fig04_rbench_fps.cc.o.d"
+  "fig04_rbench_fps"
+  "fig04_rbench_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rbench_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_rbench_fps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_disable_af.dir/fig05_disable_af.cc.o"
+  "CMakeFiles/fig05_disable_af.dir/fig05_disable_af.cc.o.d"
+  "fig05_disable_af"
+  "fig05_disable_af.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_disable_af.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bandwidth.dir/fig06_bandwidth.cc.o"
+  "CMakeFiles/fig06_bandwidth.dir/fig06_bandwidth.cc.o.d"
+  "fig06_bandwidth"
+  "fig06_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_perception_loss.dir/fig07_perception_loss.cc.o"
+  "CMakeFiles/fig07_perception_loss.dir/fig07_perception_loss.cc.o.d"
+  "fig07_perception_loss"
+  "fig07_perception_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_perception_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

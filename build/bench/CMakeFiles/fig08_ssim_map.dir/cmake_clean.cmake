@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ssim_map.dir/fig08_ssim_map.cc.o"
+  "CMakeFiles/fig08_ssim_map.dir/fig08_ssim_map.cc.o.d"
+  "fig08_ssim_map"
+  "fig08_ssim_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ssim_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_shared_texels.dir/fig12_shared_texels.cc.o"
+  "CMakeFiles/fig12_shared_texels.dir/fig12_shared_texels.cc.o.d"
+  "fig12_shared_texels"
+  "fig12_shared_texels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_shared_texels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

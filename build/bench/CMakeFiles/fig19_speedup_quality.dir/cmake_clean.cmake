@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_speedup_quality.dir/fig19_speedup_quality.cc.o"
+  "CMakeFiles/fig19_speedup_quality.dir/fig19_speedup_quality.cc.o.d"
+  "fig19_speedup_quality"
+  "fig19_speedup_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_speedup_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

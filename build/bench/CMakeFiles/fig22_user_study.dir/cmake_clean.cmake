@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_user_study.dir/fig22_user_study.cc.o"
+  "CMakeFiles/fig22_user_study.dir/fig22_user_study.cc.o.d"
+  "fig22_user_study"
+  "fig22_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kernels.cc" "bench/CMakeFiles/micro_kernels.dir/micro_kernels.cc.o" "gcc" "bench/CMakeFiles/micro_kernels.dir/micro_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pargpu_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pargpu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pargpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/pargpu_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pargpu_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/pargpu_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenes/CMakeFiles/pargpu_scenes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pargpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pargpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/texture/CMakeFiles/pargpu_texture.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pargpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5c_divergence.dir/sec5c_divergence.cc.o"
+  "CMakeFiles/sec5c_divergence.dir/sec5c_divergence.cc.o.d"
+  "sec5c_divergence"
+  "sec5c_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5c_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_cli.dir/simulator_cli.cpp.o"
+  "CMakeFiles/simulator_cli.dir/simulator_cli.cpp.o.d"
+  "simulator_cli"
+  "simulator_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

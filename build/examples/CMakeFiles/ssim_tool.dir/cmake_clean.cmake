@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_tool.dir/ssim_tool.cpp.o"
+  "CMakeFiles/ssim_tool.dir/ssim_tool.cpp.o.d"
+  "ssim_tool"
+  "ssim_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

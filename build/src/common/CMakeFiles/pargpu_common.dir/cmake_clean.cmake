@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_common.dir/image.cc.o"
+  "CMakeFiles/pargpu_common.dir/image.cc.o.d"
+  "CMakeFiles/pargpu_common.dir/logging.cc.o"
+  "CMakeFiles/pargpu_common.dir/logging.cc.o.d"
+  "CMakeFiles/pargpu_common.dir/stats.cc.o"
+  "CMakeFiles/pargpu_common.dir/stats.cc.o.d"
+  "libpargpu_common.a"
+  "libpargpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/afssim.cc" "src/core/CMakeFiles/pargpu_core.dir/afssim.cc.o" "gcc" "src/core/CMakeFiles/pargpu_core.dir/afssim.cc.o.d"
+  "/root/repo/src/core/hashtable.cc" "src/core/CMakeFiles/pargpu_core.dir/hashtable.cc.o" "gcc" "src/core/CMakeFiles/pargpu_core.dir/hashtable.cc.o.d"
+  "/root/repo/src/core/overhead.cc" "src/core/CMakeFiles/pargpu_core.dir/overhead.cc.o" "gcc" "src/core/CMakeFiles/pargpu_core.dir/overhead.cc.o.d"
+  "/root/repo/src/core/patu.cc" "src/core/CMakeFiles/pargpu_core.dir/patu.cc.o" "gcc" "src/core/CMakeFiles/pargpu_core.dir/patu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pargpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/texture/CMakeFiles/pargpu_texture.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

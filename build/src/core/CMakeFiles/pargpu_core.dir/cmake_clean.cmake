@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_core.dir/afssim.cc.o"
+  "CMakeFiles/pargpu_core.dir/afssim.cc.o.d"
+  "CMakeFiles/pargpu_core.dir/hashtable.cc.o"
+  "CMakeFiles/pargpu_core.dir/hashtable.cc.o.d"
+  "CMakeFiles/pargpu_core.dir/overhead.cc.o"
+  "CMakeFiles/pargpu_core.dir/overhead.cc.o.d"
+  "CMakeFiles/pargpu_core.dir/patu.cc.o"
+  "CMakeFiles/pargpu_core.dir/patu.cc.o.d"
+  "libpargpu_core.a"
+  "libpargpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/pargpu_core.dir/overhead.cc.o: \
+ /root/repo/src/core/overhead.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/overhead.hh

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_harness.dir/runner.cc.o"
+  "CMakeFiles/pargpu_harness.dir/runner.cc.o.d"
+  "libpargpu_harness.a"
+  "libpargpu_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_mem.dir/cache.cc.o"
+  "CMakeFiles/pargpu_mem.dir/cache.cc.o.d"
+  "CMakeFiles/pargpu_mem.dir/dram.cc.o"
+  "CMakeFiles/pargpu_mem.dir/dram.cc.o.d"
+  "CMakeFiles/pargpu_mem.dir/memsys.cc.o"
+  "CMakeFiles/pargpu_mem.dir/memsys.cc.o.d"
+  "libpargpu_mem.a"
+  "libpargpu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_power.dir/energy.cc.o"
+  "CMakeFiles/pargpu_power.dir/energy.cc.o.d"
+  "libpargpu_power.a"
+  "libpargpu_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_quality.dir/ssim.cc.o"
+  "CMakeFiles/pargpu_quality.dir/ssim.cc.o.d"
+  "libpargpu_quality.a"
+  "libpargpu_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_replay.dir/replay.cc.o"
+  "CMakeFiles/pargpu_replay.dir/replay.cc.o.d"
+  "CMakeFiles/pargpu_replay.dir/userstudy.cc.o"
+  "CMakeFiles/pargpu_replay.dir/userstudy.cc.o.d"
+  "libpargpu_replay.a"
+  "libpargpu_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_scenes.dir/meshes.cc.o"
+  "CMakeFiles/pargpu_scenes.dir/meshes.cc.o.d"
+  "CMakeFiles/pargpu_scenes.dir/scenes.cc.o"
+  "CMakeFiles/pargpu_scenes.dir/scenes.cc.o.d"
+  "libpargpu_scenes.a"
+  "libpargpu_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/framebuffer.cc" "src/sim/CMakeFiles/pargpu_sim.dir/framebuffer.cc.o" "gcc" "src/sim/CMakeFiles/pargpu_sim.dir/framebuffer.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/pargpu_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/pargpu_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/raster.cc" "src/sim/CMakeFiles/pargpu_sim.dir/raster.cc.o" "gcc" "src/sim/CMakeFiles/pargpu_sim.dir/raster.cc.o.d"
+  "/root/repo/src/sim/stereo.cc" "src/sim/CMakeFiles/pargpu_sim.dir/stereo.cc.o" "gcc" "src/sim/CMakeFiles/pargpu_sim.dir/stereo.cc.o.d"
+  "/root/repo/src/sim/texunit.cc" "src/sim/CMakeFiles/pargpu_sim.dir/texunit.cc.o" "gcc" "src/sim/CMakeFiles/pargpu_sim.dir/texunit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pargpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/texture/CMakeFiles/pargpu_texture.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pargpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pargpu_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_sim.dir/framebuffer.cc.o"
+  "CMakeFiles/pargpu_sim.dir/framebuffer.cc.o.d"
+  "CMakeFiles/pargpu_sim.dir/pipeline.cc.o"
+  "CMakeFiles/pargpu_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/pargpu_sim.dir/raster.cc.o"
+  "CMakeFiles/pargpu_sim.dir/raster.cc.o.d"
+  "CMakeFiles/pargpu_sim.dir/stereo.cc.o"
+  "CMakeFiles/pargpu_sim.dir/stereo.cc.o.d"
+  "CMakeFiles/pargpu_sim.dir/texunit.cc.o"
+  "CMakeFiles/pargpu_sim.dir/texunit.cc.o.d"
+  "libpargpu_sim.a"
+  "libpargpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

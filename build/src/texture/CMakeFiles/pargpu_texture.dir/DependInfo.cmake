@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/texture/compress.cc" "src/texture/CMakeFiles/pargpu_texture.dir/compress.cc.o" "gcc" "src/texture/CMakeFiles/pargpu_texture.dir/compress.cc.o.d"
+  "/root/repo/src/texture/mipmap.cc" "src/texture/CMakeFiles/pargpu_texture.dir/mipmap.cc.o" "gcc" "src/texture/CMakeFiles/pargpu_texture.dir/mipmap.cc.o.d"
+  "/root/repo/src/texture/procedural.cc" "src/texture/CMakeFiles/pargpu_texture.dir/procedural.cc.o" "gcc" "src/texture/CMakeFiles/pargpu_texture.dir/procedural.cc.o.d"
+  "/root/repo/src/texture/sampler.cc" "src/texture/CMakeFiles/pargpu_texture.dir/sampler.cc.o" "gcc" "src/texture/CMakeFiles/pargpu_texture.dir/sampler.cc.o.d"
+  "/root/repo/src/texture/texture.cc" "src/texture/CMakeFiles/pargpu_texture.dir/texture.cc.o" "gcc" "src/texture/CMakeFiles/pargpu_texture.dir/texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pargpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

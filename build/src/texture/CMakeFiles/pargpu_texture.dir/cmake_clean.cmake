@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_texture.dir/compress.cc.o"
+  "CMakeFiles/pargpu_texture.dir/compress.cc.o.d"
+  "CMakeFiles/pargpu_texture.dir/mipmap.cc.o"
+  "CMakeFiles/pargpu_texture.dir/mipmap.cc.o.d"
+  "CMakeFiles/pargpu_texture.dir/procedural.cc.o"
+  "CMakeFiles/pargpu_texture.dir/procedural.cc.o.d"
+  "CMakeFiles/pargpu_texture.dir/sampler.cc.o"
+  "CMakeFiles/pargpu_texture.dir/sampler.cc.o.d"
+  "CMakeFiles/pargpu_texture.dir/texture.cc.o"
+  "CMakeFiles/pargpu_texture.dir/texture.cc.o.d"
+  "libpargpu_texture.a"
+  "libpargpu_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pargpu_trace.dir/trace.cc.o"
+  "CMakeFiles/pargpu_trace.dir/trace.cc.o.d"
+  "libpargpu_trace.a"
+  "libpargpu_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pargpu_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

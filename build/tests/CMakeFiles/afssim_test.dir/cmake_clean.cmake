@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afssim_test.dir/afssim_test.cc.o"
+  "CMakeFiles/afssim_test.dir/afssim_test.cc.o.d"
+  "afssim_test"
+  "afssim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_sweep_test.dir/energy_sweep_test.cc.o"
+  "CMakeFiles/energy_sweep_test.dir/energy_sweep_test.cc.o.d"
+  "energy_sweep_test"
+  "energy_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

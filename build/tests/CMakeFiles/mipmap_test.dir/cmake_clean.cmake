@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mipmap_test.dir/mipmap_test.cc.o"
+  "CMakeFiles/mipmap_test.dir/mipmap_test.cc.o.d"
+  "mipmap_test"
+  "mipmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mipmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

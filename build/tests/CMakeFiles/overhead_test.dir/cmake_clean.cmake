@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_test.dir/overhead_test.cc.o"
+  "CMakeFiles/overhead_test.dir/overhead_test.cc.o.d"
+  "overhead_test"
+  "overhead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

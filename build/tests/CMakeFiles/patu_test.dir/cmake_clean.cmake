@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patu_test.dir/patu_test.cc.o"
+  "CMakeFiles/patu_test.dir/patu_test.cc.o.d"
+  "patu_test"
+  "patu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_edge_test.dir/raster_edge_test.cc.o"
+  "CMakeFiles/raster_edge_test.dir/raster_edge_test.cc.o.d"
+  "raster_edge_test"
+  "raster_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenes_test.dir/scenes_test.cc.o"
+  "CMakeFiles/scenes_test.dir/scenes_test.cc.o.d"
+  "scenes_test"
+  "scenes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim_test.dir/ssim_test.cc.o"
+  "CMakeFiles/ssim_test.dir/ssim_test.cc.o.d"
+  "ssim_test"
+  "ssim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stereo_test.dir/stereo_test.cc.o"
+  "CMakeFiles/stereo_test.dir/stereo_test.cc.o.d"
+  "stereo_test"
+  "stereo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stereo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texture_test.dir/texture_test.cc.o"
+  "CMakeFiles/texture_test.dir/texture_test.cc.o.d"
+  "texture_test"
+  "texture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texunit_test.dir/texunit_test.cc.o"
+  "CMakeFiles/texunit_test.dir/texunit_test.cc.o.d"
+  "texunit_test"
+  "texunit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texunit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

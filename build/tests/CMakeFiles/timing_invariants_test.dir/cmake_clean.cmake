@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_invariants_test.dir/timing_invariants_test.cc.o"
+  "CMakeFiles/timing_invariants_test.dir/timing_invariants_test.cc.o.d"
+  "timing_invariants_test"
+  "timing_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
