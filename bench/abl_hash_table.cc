@@ -8,6 +8,8 @@
  * go up, savings down).
  */
 
+#include <iterator>
+
 #include "bench_util.hh"
 #include "core/overhead.hh"
 
@@ -22,43 +24,37 @@ main()
     GameTrace trace = buildGameTrace(GameId::HL2, scaleDim(1280),
                                      scaleDim(1024), numFrames());
 
+    // Baseline plus one PATU condition per table capacity, in parallel.
+    const int capacities[] = {2, 4, 8, 16};
+    std::vector<RunConfig> configs;
     RunConfig base_cfg;
     base_cfg.scenario = DesignScenario::Baseline;
-    RunResult base = runTrace(trace, base_cfg);
+    configs.push_back(base_cfg);
+    for (int entries : capacities) {
+        RunConfig cfg;
+        cfg.scenario = DesignScenario::Patu;
+        cfg.threshold = 0.4f;
+        cfg.table_entries = entries;
+        configs.push_back(cfg);
+    }
+    std::vector<RunResult> runs = runSweep(trace, configs);
+    const RunResult &base = runs[0];
 
     std::printf("%8s %10s %10s %12s %14s\n", "entries", "speedup",
                 "MSSIM", "stage-2 pix", "table bytes/TU");
 
-    for (int entries : {2, 4, 8, 16}) {
-        RunConfig cfg;
-        cfg.scenario = DesignScenario::Patu;
-        cfg.threshold = 0.4f;
-        GpuConfig g = makeGpuConfig(cfg);
-        g.patu.table_entries = entries;
-
-        GpuSimulator sim(g);
-        double cycles = 0.0, st2 = 0.0;
-        std::vector<Image> images;
-        for (const Camera &cam : trace.cameras) {
-            FrameOutput out = sim.renderFrame(trace.scene, cam,
-                                              trace.width, trace.height);
-            cycles += static_cast<double>(out.stats.total_cycles);
-            st2 += static_cast<double>(out.stats.approx_stage2);
-            images.push_back(std::move(out.image));
-        }
-        cycles /= static_cast<double>(trace.cameras.size());
-
-        double q = 0.0;
-        for (std::size_t i = 0; i < images.size(); ++i)
-            q += mssim(base.images[i], images[i]);
-        q /= static_cast<double>(images.size());
+    for (std::size_t i = 0; i < std::size(capacities); ++i) {
+        const int entries = capacities[i];
+        const RunResult &r = runs[i + 1];
+        double st2 = sumOver(r.frames, &FrameStats::approx_stage2);
+        double q = r.mssimAgainst(base.images);
 
         OverheadConfig oc;
         oc.table_entries = entries;
         OverheadReport rep = computeOverhead(oc);
 
         std::printf("%8d %9.3fx %10.4f %12.0f %14.0f\n", entries,
-                    base.avg_cycles / cycles, q, st2,
+                    base.avg_cycles / r.avg_cycles, q, st2,
                     rep.table_bytes_per_tu);
     }
 

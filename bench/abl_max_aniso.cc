@@ -7,6 +7,8 @@
  * reduced AF levels.
  */
 
+#include <iterator>
+
 #include "bench_util.hh"
 
 using namespace pargpu;
@@ -20,28 +22,38 @@ main()
     GameTrace trace = buildGameTrace(GameId::Grid, scaleDim(1280),
                                      scaleDim(1024), numFrames());
 
+    // One parallel sweep: baseline, the four global caps, and PATU.
+    const int caps[] = {16, 8, 4, 2};
+    std::vector<RunConfig> configs;
     RunConfig base_cfg;
     base_cfg.scenario = DesignScenario::Baseline;
     base_cfg.max_aniso = 16;
-    RunResult base = runTrace(trace, base_cfg);
+    configs.push_back(base_cfg);
+    for (int cap : caps) {
+        RunConfig cfg = base_cfg;
+        cfg.max_aniso = cap;
+        configs.push_back(cfg);
+    }
+    RunConfig patu_cfg;
+    patu_cfg.scenario = DesignScenario::Patu;
+    patu_cfg.threshold = 0.4f;
+    configs.push_back(patu_cfg);
+
+    std::vector<RunResult> runs = runSweep(trace, configs);
+    const RunResult &base = runs[0];
 
     std::printf("%-18s %10s %10s %12s\n", "config", "speedup", "MSSIM",
                 "speed*MSSIM");
 
-    for (int cap : {16, 8, 4, 2}) {
-        RunConfig cfg = base_cfg;
-        cfg.max_aniso = cap;
-        RunResult r = runTrace(trace, cfg);
+    for (std::size_t i = 0; i < std::size(caps); ++i) {
+        const RunResult &r = runs[i + 1];
         double speedup = base.avg_cycles / r.avg_cycles;
         double q = r.mssimAgainst(base.images);
-        std::printf("%4dx AF (global) %10.3fx %10.4f %12.4f\n", cap,
+        std::printf("%4dx AF (global) %10.3fx %10.4f %12.4f\n", caps[i],
                     speedup, q, speedup * q);
     }
 
-    RunConfig patu_cfg;
-    patu_cfg.scenario = DesignScenario::Patu;
-    patu_cfg.threshold = 0.4f;
-    RunResult patu = runTrace(trace, patu_cfg);
+    const RunResult &patu = runs.back();
     double speedup = base.avg_cycles / patu.avg_cycles;
     double q = patu.mssimAgainst(base.images);
     std::printf("%-18s %9.3fx %10.4f %12.4f\n", "PATU(0.4) @16x",

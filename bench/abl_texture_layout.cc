@@ -9,6 +9,7 @@
  */
 
 #include "bench_util.hh"
+#include "common/threadpool.hh"
 #include "scenes/meshes.hh"
 
 using namespace pargpu;
@@ -54,28 +55,34 @@ main()
     std::printf("%-8s %-10s %12s %10s %10s %12s\n", "layout", "design",
                 "cycles", "L1 hit%", "LLC hit%", "DRAM reads");
 
-    for (TexelLayout layout : {TexelLayout::Tiled4x4, TexelLayout::Linear}) {
-        Scene scene = layoutScene(layout);
-        const char *lname =
-            layout == TexelLayout::Tiled4x4 ? "tiled" : "linear";
-        for (DesignScenario s :
-             {DesignScenario::Baseline, DesignScenario::Patu}) {
-            RunConfig cfg;
-            cfg.scenario = s;
-            GpuSimulator sim(makeGpuConfig(cfg));
-            FrameOutput out = sim.renderFrame(scene, camera(w, h), w, h);
-            const FrameStats &f = out.stats;
-            std::printf("%-8s %-10s %12llu %9.1f%% %9.1f%% %12llu\n",
-                        lname, scenarioName(s),
-                        static_cast<unsigned long long>(f.total_cycles),
-                        100.0 * f.l1_hits /
-                            std::max<std::uint64_t>(
-                                1, f.l1_hits + f.l1_misses),
-                        100.0 * f.llc_hits /
-                            std::max<std::uint64_t>(
-                                1, f.llc_hits + f.llc_misses),
-                        static_cast<unsigned long long>(f.dram_reads));
-        }
+    // The layout x design grid renders in parallel: scenes are shared
+    // read-only, each cell owns its simulator and writes its own slot.
+    const Scene scenes[] = {layoutScene(TexelLayout::Tiled4x4),
+                            layoutScene(TexelLayout::Linear)};
+    const DesignScenario designs[] = {DesignScenario::Baseline,
+                                      DesignScenario::Patu};
+
+    FrameOutput cells[4];
+    ThreadPool::run(4, 1, [&](std::size_t i) {
+        RunConfig cfg;
+        cfg.scenario = designs[i % 2];
+        GpuSimulator sim(makeGpuConfig(cfg));
+        cells[i] = sim.renderFrame(scenes[i / 2], camera(w, h), w, h);
+    });
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        const FrameStats &f = cells[i].stats;
+        std::printf("%-8s %-10s %12llu %9.1f%% %9.1f%% %12llu\n",
+                    i / 2 == 0 ? "tiled" : "linear",
+                    scenarioName(designs[i % 2]),
+                    static_cast<unsigned long long>(f.total_cycles),
+                    100.0 * f.l1_hits /
+                        std::max<std::uint64_t>(
+                            1, f.l1_hits + f.l1_misses),
+                    100.0 * f.llc_hits /
+                        std::max<std::uint64_t>(
+                            1, f.llc_hits + f.llc_misses),
+                    static_cast<unsigned long long>(f.dram_reads));
     }
     return 0;
 }

@@ -8,6 +8,7 @@
  */
 
 #include "bench_util.hh"
+#include "common/threadpool.hh"
 #include "sim/stereo.hh"
 
 using namespace pargpu;
@@ -24,32 +25,37 @@ main()
     std::printf("%-10s %14s %14s %10s\n", "design", "mono cycles",
                 "stereo cycles", "stereo/mono");
 
-    double base_stereo = 0.0;
-    for (DesignScenario s :
-         {DesignScenario::Baseline, DesignScenario::Patu,
-          DesignScenario::NoAF}) {
+    // One task per design scenario, each with its own simulator; totals
+    // land in per-scenario slots and print in the original order.
+    const DesignScenario designs[] = {DesignScenario::Baseline,
+                                      DesignScenario::Patu,
+                                      DesignScenario::NoAF};
+    double monos[3] = {}, stereos[3] = {};
+    ThreadPool::run(3, 1, [&](std::size_t i) {
         RunConfig cfg;
-        cfg.scenario = s;
+        cfg.scenario = designs[i];
         cfg.threshold = 0.4f;
         GpuSimulator sim(makeGpuConfig(cfg));
 
-        double mono = 0.0, stereo = 0.0;
         for (const Camera &cam : trace.cameras) {
             FrameOutput m = sim.renderFrame(trace.scene, cam, trace.width,
                                             trace.height);
-            mono += static_cast<double>(m.stats.total_cycles);
+            monos[i] += static_cast<double>(m.stats.total_cycles);
             StereoFrame sf = renderStereo(sim, trace.scene, cam,
                                           trace.width, trace.height);
-            stereo += static_cast<double>(sf.totalCycles());
+            stereos[i] += static_cast<double>(sf.totalCycles());
         }
-        if (s == DesignScenario::Baseline)
-            base_stereo = stereo;
-        std::printf("%-10s %14.0f %14.0f %9.2fx", scenarioName(s),
-                    mono / trace.cameras.size(),
-                    stereo / trace.cameras.size(), stereo / mono);
-        if (s != DesignScenario::Baseline)
+    });
+
+    const double base_stereo = stereos[0];
+    for (std::size_t i = 0; i < 3; ++i) {
+        std::printf("%-10s %14.0f %14.0f %9.2fx", scenarioName(designs[i]),
+                    monos[i] / trace.cameras.size(),
+                    stereos[i] / trace.cameras.size(),
+                    stereos[i] / monos[i]);
+        if (i != 0)
             std::printf("   (stereo speedup vs baseline: %.3fx)",
-                        base_stereo / stereo);
+                        base_stereo / stereos[i]);
         std::printf("\n");
     }
     return 0;

@@ -33,17 +33,23 @@ main()
     std::vector<double> bp_perceptual;
 
     for (const Workload &w : games) {
+        // One sweep: the baseline plus every threshold, run in parallel.
+        std::vector<RunConfig> configs;
         RunConfig base_cfg;
         base_cfg.scenario = DesignScenario::Baseline;
-        RunResult base = runTrace(w.trace, base_cfg);
+        configs.push_back(base_cfg);
+        for (int i = 0; i < steps; ++i) {
+            RunConfig cfg;
+            cfg.scenario = DesignScenario::Patu;
+            cfg.threshold = static_cast<float>(i) / (steps - 1);
+            configs.push_back(cfg);
+        }
+        std::vector<RunResult> runs = runSweep(w.trace, configs);
+        const RunResult &base = runs[0];
 
         std::vector<double> speeds, quals;
         for (int i = 0; i < steps; ++i) {
-            float threshold = static_cast<float>(i) / (steps - 1);
-            RunConfig cfg;
-            cfg.scenario = DesignScenario::Patu;
-            cfg.threshold = threshold;
-            RunResult r = runTrace(w.trace, cfg);
+            const RunResult &r = runs[i + 1];
             speeds.push_back(base.avg_cycles / r.avg_cycles);
             quals.push_back(r.mssimAgainst(base.images));
         }

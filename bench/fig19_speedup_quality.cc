@@ -31,16 +31,19 @@ main()
 
     std::vector<double> speedups[3], mssims[3];
     for (const Workload &w : paperWorkloads()) {
-        RunConfig base_cfg;
-        base_cfg.scenario = DesignScenario::Baseline;
-        RunResult base = runTrace(w.trace, base_cfg);
+        // Baseline plus the three scenarios, swept in parallel.
+        std::vector<RunConfig> configs(4);
+        configs[0].scenario = DesignScenario::Baseline;
+        for (int s = 0; s < 3; ++s) {
+            configs[s + 1].scenario = scenarios[s];
+            configs[s + 1].threshold = 0.4f;
+        }
+        std::vector<RunResult> runs = runSweep(w.trace, configs);
+        const RunResult &base = runs[0];
 
         std::printf("%-16s", w.label.c_str());
         for (int s = 0; s < 3; ++s) {
-            RunConfig cfg;
-            cfg.scenario = scenarios[s];
-            cfg.threshold = 0.4f;
-            RunResult r = runTrace(w.trace, cfg);
+            const RunResult &r = runs[s + 1];
             double speedup = base.avg_cycles / r.avg_cycles;
             double q = r.mssimAgainst(base.images);
             speedups[s].push_back(speedup);

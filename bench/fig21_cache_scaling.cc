@@ -6,6 +6,8 @@
  * every configuration — it is orthogonal to cache scaling.
  */
 
+#include <iterator>
+
 #include "bench_util.hh"
 
 using namespace pargpu;
@@ -31,30 +33,39 @@ main()
 
     std::printf("%-14s %14s %14s\n", "config", "no PATU", "with PATU");
 
-    // Average across the Table II games.
-    for (const Config &c : configs) {
-        std::vector<double> plain, patu;
-        for (const Workload &w : paperWorkloads()) {
-            RunConfig base_cfg; // 1x, no PATU = normalization point.
-            base_cfg.scenario = DesignScenario::Baseline;
-            base_cfg.keep_images = false;
-            RunResult base = runTrace(w.trace, base_cfg);
-
+    // Per game, one parallel sweep covers the shared 1x baseline plus a
+    // plain and a PATU condition for every cache configuration.
+    const std::size_t nc = std::size(configs);
+    std::vector<std::vector<double>> plain(nc), patu(nc);
+    for (const Workload &w : paperWorkloads()) {
+        std::vector<RunConfig> sweep;
+        RunConfig base_cfg; // 1x, no PATU = normalization point.
+        base_cfg.scenario = DesignScenario::Baseline;
+        base_cfg.keep_images = false;
+        sweep.push_back(base_cfg);
+        for (const Config &c : configs) {
             RunConfig plain_cfg = base_cfg;
             plain_cfg.tc_scale = c.tc_scale;
             plain_cfg.llc_scale = c.llc_scale;
-            RunResult rp = runTrace(w.trace, plain_cfg);
-            plain.push_back(base.avg_cycles / rp.avg_cycles);
+            sweep.push_back(plain_cfg);
 
             RunConfig patu_cfg = plain_cfg;
             patu_cfg.scenario = DesignScenario::Patu;
             patu_cfg.threshold = 0.4f;
-            RunResult rq = runTrace(w.trace, patu_cfg);
-            patu.push_back(base.avg_cycles / rq.avg_cycles);
+            sweep.push_back(patu_cfg);
         }
-        std::printf("%-14s %13.3fx %13.3fx\n", c.label, geomean(plain),
-                    geomean(patu));
+        std::vector<RunResult> runs = runSweep(w.trace, sweep);
+        const RunResult &base = runs[0];
+        for (std::size_t i = 0; i < nc; ++i) {
+            plain[i].push_back(base.avg_cycles / runs[1 + 2 * i].avg_cycles);
+            patu[i].push_back(base.avg_cycles / runs[2 + 2 * i].avg_cycles);
+        }
     }
+
+    // Average across the Table II games.
+    for (std::size_t i = 0; i < nc; ++i)
+        std::printf("%-14s %13.3fx %13.3fx\n", configs[i].label,
+                    geomean(plain[i]), geomean(patu[i]));
 
     std::printf("\npaper: capacity alone gives little; PATU delivers "
                 "24.1/28.0/28.3%% on the scaled configs and scales with "

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Perf smoke test for the parallel execution engine: times runTrace() at
+ * 1 thread and at N threads on a fixed workload, checks the results are
+ * bit-identical, and writes BENCH_parallel.json so the simulation
+ * throughput (frames/sec) and parallel speedup are tracked across PRs.
+ *
+ * Environment:
+ *   PARGPU_THREADS   parallel thread count (default: hardware cores)
+ *   PARGPU_FRAMES    frames in the timed trace (default: 8 here)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hh"
+#include "common/threadpool.hh"
+
+using namespace pargpu;
+using namespace pargpu::bench;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Perf smoke", "runTrace wall-clock, 1 vs N threads");
+
+    const char *fenv = std::getenv("PARGPU_FRAMES");
+    const int frames = fenv ? numFrames() : 8;
+    GameTrace trace = buildGameTrace(GameId::HL2, scaleDim(1280),
+                                     scaleDim(1024), frames);
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    unsigned n_threads = ThreadPool::defaultThreads();
+    if (n_threads < 2)
+        n_threads = 2; // Exercise the parallel path even on 1 core.
+
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Patu;
+    serial_cfg.threshold = 0.4f;
+    serial_cfg.keep_images = false;
+    serial_cfg.threads = 1;
+    RunConfig parallel_cfg = serial_cfg;
+    parallel_cfg.threads = static_cast<int>(n_threads);
+
+    // Warm up once (page cache, pool spin-up) outside the timed region.
+    runTrace(trace, parallel_cfg);
+
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult serial = runTrace(trace, serial_cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    RunResult parallel = runTrace(trace, parallel_cfg);
+    auto t2 = std::chrono::steady_clock::now();
+
+    const double s_sec = seconds(t0, t1);
+    const double p_sec = seconds(t1, t2);
+    const double s_fps = frames / s_sec;
+    const double p_fps = frames / p_sec;
+    const double speedup = s_sec / p_sec;
+
+    bool identical = serial.frames.size() == parallel.frames.size() &&
+        serial.avg_cycles == parallel.avg_cycles &&
+        serial.total_energy_nj == parallel.total_energy_nj &&
+        serial.avg_power_w == parallel.avg_power_w;
+    for (std::size_t i = 0; identical && i < serial.frames.size(); ++i)
+        identical = serial.frames[i].total_cycles ==
+            parallel.frames[i].total_cycles;
+
+    std::printf("%d frames at %dx%d, %u hardware cores\n", frames,
+                trace.width, trace.height, hw);
+    std::printf("  1 thread : %7.2f s  (%6.3f frames/s)\n", s_sec, s_fps);
+    std::printf("  %u threads: %7.2f s  (%6.3f frames/s)\n", n_threads,
+                p_sec, p_fps);
+    std::printf("  speedup  : %.2fx   bit-identical: %s\n", speedup,
+                identical ? "yes" : "NO");
+
+    FILE *f = std::fopen("BENCH_parallel.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"perf_smoke\",\n"
+                 "  \"workload\": \"hl2\",\n"
+                 "  \"frames\": %d,\n"
+                 "  \"width\": %d,\n"
+                 "  \"height\": %d,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"threads\": %u,\n"
+                 "  \"serial_seconds\": %.6f,\n"
+                 "  \"parallel_seconds\": %.6f,\n"
+                 "  \"serial_frames_per_sec\": %.6f,\n"
+                 "  \"parallel_frames_per_sec\": %.6f,\n"
+                 "  \"speedup\": %.6f,\n"
+                 "  \"bit_identical\": %s\n"
+                 "}\n",
+                 frames, trace.width, trace.height, hw, n_threads, s_sec,
+                 p_sec, s_fps, p_fps, speedup,
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_parallel.json\n");
+
+    return identical ? 0 : 1;
+}

@@ -9,7 +9,10 @@
  *                 [--scenario baseline|noaf|n|ntxds|patu]
  *                 [--threshold T] [--width W] [--height H]
  *                 [--frames N] [--tc-scale S] [--llc-scale S]
- *                 [--stereo] [--dump-ppm PREFIX]
+ *                 [--threads N] [--stereo] [--dump-ppm PREFIX]
+ *
+ * --threads N (or PARGPU_THREADS=N) renders frames N-wide in parallel;
+ * results are bit-identical to a serial run.
  */
 
 #include <cstdio>
@@ -17,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/threadpool.hh"
 #include "harness/runner.hh"
 #include "power/energy.hh"
 #include "sim/stereo.hh"
@@ -96,6 +100,11 @@ parseArgs(int argc, char **argv)
         } else if (a == "--llc-scale") {
             o.run.llc_scale = static_cast<unsigned>(
                 std::atoi(need("--llc-scale").c_str()));
+        } else if (a == "--threads") {
+            o.run.threads = std::atoi(need("--threads").c_str());
+            if (o.run.threads > 0)
+                ThreadPool::setDefaultThreads(
+                    static_cast<unsigned>(o.run.threads));
         } else if (a == "--stereo") {
             o.stereo = true;
         } else if (a == "--dump-ppm") {
@@ -164,12 +173,14 @@ main(int argc, char **argv)
     std::printf("scenario  : %s, threshold %.2f%s\n",
                 scenarioName(o.run.scenario), o.run.threshold,
                 o.stereo ? ", stereo" : "");
+    std::printf("threads   : %u\n",
+                o.run.threads > 0 ? static_cast<unsigned>(o.run.threads)
+                                  : ThreadPool::defaultThreads());
 
-    GpuSimulator sim(makeGpuConfig(o.run));
-
-    for (int f = 0; f < o.frames; ++f) {
-        const Camera &cam = trace.cameras[f];
-        if (o.stereo) {
+    if (o.stereo) {
+        GpuSimulator sim(makeGpuConfig(o.run));
+        for (int f = 0; f < o.frames; ++f) {
+            const Camera &cam = trace.cameras[f];
             StereoFrame sf = renderStereo(sim, trace.scene, cam, o.width,
                                           o.height);
             std::printf("\n=== frame %d (stereo: %llu total cycles) ===\n",
@@ -183,15 +194,20 @@ main(int argc, char **argv)
                 sf.right.image.writePPM(o.dump_prefix + "_f" +
                                         std::to_string(f) + "_R.ppm");
             }
-        } else {
-            FrameOutput out =
-                sim.renderFrame(trace.scene, cam, o.width, o.height);
-            std::printf("\n=== frame %d ===\n", f);
-            printFrame("frame", out.stats);
-            if (!o.dump_prefix.empty()) {
-                out.image.writePPM(o.dump_prefix + "_f" +
+        }
+        return 0;
+    }
+
+    // Mono path: frames render (possibly in parallel) through the
+    // harness, then print in order — output is identical to a serial run.
+    o.run.keep_images = !o.dump_prefix.empty();
+    RunResult run = runTrace(trace, o.run);
+    for (int f = 0; f < o.frames; ++f) {
+        std::printf("\n=== frame %d ===\n", f);
+        printFrame("frame", run.frames[f]);
+        if (!o.dump_prefix.empty()) {
+            run.images[f].writePPM(o.dump_prefix + "_f" +
                                    std::to_string(f) + ".ppm");
-            }
         }
     }
     return 0;

@@ -1,6 +1,9 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 
 namespace pargpu
 {
@@ -10,9 +13,16 @@ RunResult::mssimAgainst(const std::vector<Image> &reference) const
 {
     if (images.empty() || images.size() != reference.size())
         fatal("mssimAgainst: image sets unavailable or mismatched");
+    // Per-frame MSSIMs land in index-addressed slots; the reduction runs
+    // serially in frame order so the sum is bit-identical at any thread
+    // count.
+    std::vector<double> per(images.size());
+    ThreadPool::run(images.size(), 1, [&](std::size_t i) {
+        per[i] = mssim(reference[i], images[i]);
+    });
     double acc = 0.0;
-    for (std::size_t i = 0; i < images.size(); ++i)
-        acc += mssim(reference[i], images[i]);
+    for (double v : per)
+        acc += v;
     return acc / static_cast<double>(images.size());
 }
 
@@ -26,19 +36,51 @@ makeGpuConfig(const RunConfig &config)
     g.patu.scenario = config.scenario;
     g.patu.threshold = config.threshold;
     g.patu.max_aniso = config.max_aniso;
+    if (config.table_entries > 0)
+        g.patu.table_entries = config.table_entries;
     return g;
 }
 
 RunResult
 runTrace(const GameTrace &trace, const RunConfig &config)
 {
-    RunResult result;
-    GpuSimulator sim(makeGpuConfig(config));
+    const std::size_t n = trace.cameras.size();
+    const unsigned want = config.threads > 0
+        ? static_cast<unsigned>(config.threads)
+        : ThreadPool::defaultThreads();
+    const std::size_t parts =
+        std::min<std::size_t>(want, n == 0 ? 1 : n);
 
+    // Every frame renders into its own slot. The simulator resets cache
+    // and DRAM state per frame, so a frame's output is the same whether
+    // its simulator previously rendered other frames (serial path) or is
+    // freshly built for a partition (parallel path); determinism_test
+    // pins this down.
+    std::vector<FrameOutput> outs(n);
+    if (parts <= 1 || ThreadPool::inWorker()) {
+        GpuSimulator sim(makeGpuConfig(config));
+        for (std::size_t f = 0; f < n; ++f)
+            outs[f] = sim.renderFrame(trace.scene, trace.cameras[f],
+                                      trace.width, trace.height);
+    } else {
+        ThreadPool::run(parts, 1, [&](std::size_t p) {
+            const std::size_t lo = n * p / parts;
+            const std::size_t hi = n * (p + 1) / parts;
+            GpuSimulator sim(makeGpuConfig(config));
+            for (std::size_t f = lo; f < hi; ++f)
+                outs[f] = sim.renderFrame(trace.scene, trace.cameras[f],
+                                          trace.width, trace.height);
+        }, static_cast<unsigned>(parts));
+    }
+
+    // Aggregate serially in frame order — the identical sequence of
+    // floating-point additions as the serial path.
+    RunResult result;
+    result.frames.reserve(n);
+    if (config.keep_images)
+        result.images.reserve(n);
     double cycles = 0.0, power = 0.0;
-    for (const Camera &cam : trace.cameras) {
-        FrameOutput out =
-            sim.renderFrame(trace.scene, cam, trace.width, trace.height);
+    for (FrameOutput &out : outs) {
         EnergyBreakdown e = computeEnergy(out.stats);
         result.total_energy_nj += e.total_nj();
         power += averagePowerW(e, out.stats);
@@ -47,12 +89,25 @@ runTrace(const GameTrace &trace, const RunConfig &config)
         if (config.keep_images)
             result.images.push_back(std::move(out.image));
     }
-    const double n = static_cast<double>(result.frames.size());
     if (n > 0) {
-        result.avg_cycles = cycles / n;
-        result.avg_power_w = power / n;
+        result.avg_cycles = cycles / static_cast<double>(n);
+        result.avg_power_w = power / static_cast<double>(n);
     }
     return result;
+}
+
+std::vector<RunResult>
+runSweep(const GameTrace &trace, const std::vector<RunConfig> &configs,
+         int threads)
+{
+    std::vector<RunResult> results(configs.size());
+    // Conditions fan out across workers; runTrace() detects it is on a
+    // worker and keeps its frames serial, so there is exactly one level
+    // of parallelism and results stay independent of the thread count.
+    ThreadPool::run(configs.size(), 1, [&](std::size_t i) {
+        results[i] = runTrace(trace, configs[i]);
+    }, threads > 0 ? static_cast<unsigned>(threads) : 0);
+    return results;
 }
 
 std::vector<Cycle>

@@ -2,6 +2,13 @@
  * @file
  * Experiment runner: renders a game trace under a design scenario and
  * aggregates the measurements every bench and example consumes.
+ *
+ * Frames of a trace are independent by construction (the simulator resets
+ * cache and DRAM state per frame), so runTrace() renders them in parallel
+ * on the shared thread pool — one GpuSimulator per worker partition, each
+ * frame written into its own pre-sized slot, aggregation done serially in
+ * frame order. The parallel path is bit-identical to the serial one.
+ * runSweep() parallelizes one level up, across RunConfig conditions.
  */
 
 #ifndef PARGPU_HARNESS_RUNNER_HH
@@ -26,6 +33,9 @@ struct RunConfig
     unsigned llc_scale = 1;   ///< LLC capacity multiplier.
     int max_aniso = 16;
     bool keep_images = true;  ///< Retain rendered frames (for SSIM).
+    int table_entries = 0;    ///< PATU hash-table entries (0 = default).
+    int threads = 0;          ///< Frame-level parallelism for runTrace():
+                              ///< 0 = PARGPU_THREADS/default, 1 = serial.
 };
 
 /** Aggregated results of rendering all frames of a trace. */
@@ -46,6 +56,18 @@ GpuConfig makeGpuConfig(const RunConfig &config);
 
 /** Render every frame of @p trace under @p config. */
 RunResult runTrace(const GameTrace &trace, const RunConfig &config);
+
+/**
+ * Render @p trace under every condition of @p configs, conditions in
+ * parallel (frames within each condition stay serial on a worker).
+ * results[i] corresponds to configs[i] and is bit-identical to
+ * runTrace(trace, configs[i]).
+ *
+ * @param threads  Total concurrency (0 = PARGPU_THREADS/default).
+ */
+std::vector<RunResult> runSweep(const GameTrace &trace,
+                                const std::vector<RunConfig> &configs,
+                                int threads = 0);
 
 /** Frame times of a run, for the replay/vsync model. */
 std::vector<Cycle> frameCycles(const RunResult &run);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 
 namespace pargpu
 {
@@ -28,9 +29,18 @@ gaussianKernel(int window, float sigma)
     return k;
 }
 
+/** Rows per parallel chunk: amortizes dispatch without hurting balance. */
+constexpr std::size_t kRowChunk = 16;
+
 // Separable Gaussian blur with edge truncation + renormalization. Because
 // the 2-D kernel is a separable product, renormalizing each axis
 // independently equals renormalizing the truncated 2-D kernel.
+//
+// Both passes parallelize over output rows: each row is computed by one
+// thread with the exact serial per-pixel arithmetic and written to a
+// disjoint slice, so the result is bit-identical at any thread count.
+// The vertical pass only begins once the horizontal pass has fully
+// completed (parallelFor is a barrier).
 void
 blur(const std::vector<float> &src, int w, int h,
      const std::vector<float> &kernel, std::vector<float> &tmp,
@@ -40,7 +50,9 @@ blur(const std::vector<float> &src, int w, int h,
     const int half = window / 2;
 
     // Horizontal pass.
-    for (int y = 0; y < h; ++y) {
+    ThreadPool::run(static_cast<std::size_t>(h), kRowChunk,
+                    [&](std::size_t yy) {
+        const int y = static_cast<int>(yy);
         const float *row = &src[static_cast<std::size_t>(y) * w];
         float *out = &tmp[static_cast<std::size_t>(y) * w];
         for (int x = 0; x < w; ++x) {
@@ -54,10 +66,12 @@ blur(const std::vector<float> &src, int w, int h,
             }
             out[x] = acc / wsum;
         }
-    }
+    });
 
     // Vertical pass.
-    for (int y = 0; y < h; ++y) {
+    ThreadPool::run(static_cast<std::size_t>(h), kRowChunk,
+                    [&](std::size_t yy) {
+        const int y = static_cast<int>(yy);
         float *out = &dst[static_cast<std::size_t>(y) * w];
         int lo = y - half < 0 ? -y : -half;
         int hi = y + half >= h ? h - 1 - y : half;
@@ -70,7 +84,7 @@ blur(const std::vector<float> &src, int w, int h,
             }
             out[x] = acc / wsum;
         }
-    }
+    });
 }
 
 } // namespace
@@ -91,11 +105,15 @@ ssimMap(const Image &x, const Image &y, const SsimParams &params)
     std::vector<float> ly = y.lumaPlane();
 
     std::vector<float> xx(n), yy(n), xy(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        xx[i] = lx[i] * lx[i];
-        yy[i] = ly[i] * ly[i];
-        xy[i] = lx[i] * ly[i];
-    }
+    ThreadPool::run(static_cast<std::size_t>(h), kRowChunk,
+                    [&](std::size_t row) {
+        const std::size_t lo = row * w, hi = lo + w;
+        for (std::size_t i = lo; i < hi; ++i) {
+            xx[i] = lx[i] * lx[i];
+            yy[i] = ly[i] * ly[i];
+            xy[i] = lx[i] * ly[i];
+        }
+    });
 
     std::vector<float> kernel = gaussianKernel(params.window, params.sigma);
     std::vector<float> tmp(n);
@@ -110,15 +128,19 @@ ssimMap(const Image &x, const Image &y, const SsimParams &params)
     const float c2 = (params.k2 * params.range) * (params.k2 * params.range);
 
     std::vector<float> map(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        float mx = mu_x[i], my = mu_y[i];
-        float var_x = m_xx[i] - mx * mx;
-        float var_y = m_yy[i] - my * my;
-        float cov = m_xy[i] - mx * my;
-        float num = (2.0f * mx * my + c1) * (2.0f * cov + c2);
-        float den = (mx * mx + my * my + c1) * (var_x + var_y + c2);
-        map[i] = num / den;
-    }
+    ThreadPool::run(static_cast<std::size_t>(h), kRowChunk,
+                    [&](std::size_t row) {
+        const std::size_t lo = row * w, hi = lo + w;
+        for (std::size_t i = lo; i < hi; ++i) {
+            float mx = mu_x[i], my = mu_y[i];
+            float var_x = m_xx[i] - mx * mx;
+            float var_y = m_yy[i] - my * my;
+            float cov = m_xy[i] - mx * my;
+            float num = (2.0f * mx * my + c1) * (2.0f * cov + c2);
+            float den = (mx * mx + my * my + c1) * (var_x + var_y + c2);
+            map[i] = num / den;
+        }
+    });
     return map;
 }
 

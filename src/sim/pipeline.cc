@@ -48,6 +48,26 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
     for (auto &tu : tus_)
         tu->resetStats();
 
+    // Cache and DRAM hit/miss counters are cumulative across flushes
+    // (their units keep lifetime stats); snapshot them here so the frame
+    // reports deltas and every frame is measured independently — which
+    // also makes renderFrame() results invariant to what the simulator
+    // rendered before (the parallel harness relies on this).
+    struct MemCounters
+    {
+        std::uint64_t l1_hits = 0, l1_misses = 0;
+        std::uint64_t llc_hits = 0, llc_misses = 0;
+        std::uint64_t dram_reads = 0, dram_row_hits = 0;
+    } base;
+    for (unsigned c = 0; c < config_.clusters; ++c) {
+        base.l1_hits += mem_->textureL1(c).hits();
+        base.l1_misses += mem_->textureL1(c).misses();
+    }
+    base.llc_hits = mem_->llc().hits();
+    base.llc_misses = mem_->llc().misses();
+    base.dram_reads = mem_->dram().reads();
+    base.dram_row_hits = mem_->dram().rowHits();
+
     Framebuffer fb(width, height);
     fb.clear(scene.clear_color);
 
@@ -256,10 +276,12 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         fs.l1_hits += mem_->textureL1(c).hits();
         fs.l1_misses += mem_->textureL1(c).misses();
     }
-    fs.llc_hits = mem_->llc().hits();
-    fs.llc_misses = mem_->llc().misses();
-    fs.dram_reads = mem_->dram().reads();
-    fs.dram_row_hits = mem_->dram().rowHits();
+    fs.l1_hits -= base.l1_hits;
+    fs.l1_misses -= base.l1_misses;
+    fs.llc_hits = mem_->llc().hits() - base.llc_hits;
+    fs.llc_misses = mem_->llc().misses() - base.llc_misses;
+    fs.dram_reads = mem_->dram().reads() - base.dram_reads;
+    fs.dram_row_hits = mem_->dram().rowHits() - base.dram_row_hits;
 
     FrameOutput out;
     out.image = fb.color();

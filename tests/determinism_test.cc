@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Determinism guarantee of the parallel execution engine: runTrace() with
+ * N threads must produce bit-identical FrameStats, images and aggregates
+ * to the 1-thread run, runSweep() must equal per-config runTrace(), and
+ * the parallel SSIM path must match the serial one exactly.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.hh"
+#include "harness/runner.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+void
+expectStatsEqual(const FrameStats &a, const FrameStats &b)
+{
+#define PARGPU_EQ(field) EXPECT_EQ(a.field, b.field) << #field
+    PARGPU_EQ(total_cycles);
+    PARGPU_EQ(geometry_cycles);
+    PARGPU_EQ(fragment_cycles);
+    PARGPU_EQ(texture_filter_cycles);
+    PARGPU_EQ(texture_mem_stall);
+    PARGPU_EQ(shader_busy_cycles);
+    PARGPU_EQ(triangles_in);
+    PARGPU_EQ(triangles_setup);
+    PARGPU_EQ(quads);
+    PARGPU_EQ(pixels_shaded);
+    PARGPU_EQ(trilinear_samples);
+    PARGPU_EQ(texels);
+    PARGPU_EQ(addr_ops);
+    PARGPU_EQ(table_accesses);
+    PARGPU_EQ(af_candidate_pixels);
+    PARGPU_EQ(approx_stage1);
+    PARGPU_EQ(approx_stage2);
+    PARGPU_EQ(full_af);
+    PARGPU_EQ(trivial_tf);
+    PARGPU_EQ(af_input_samples);
+    PARGPU_EQ(shared_samples);
+    PARGPU_EQ(divergent_quads);
+    PARGPU_EQ(af_quads);
+    PARGPU_EQ(traffic_texture);
+    PARGPU_EQ(traffic_colordepth);
+    PARGPU_EQ(traffic_geometry);
+    PARGPU_EQ(l1_hits);
+    PARGPU_EQ(l1_misses);
+    PARGPU_EQ(llc_hits);
+    PARGPU_EQ(llc_misses);
+    PARGPU_EQ(dram_reads);
+    PARGPU_EQ(dram_row_hits);
+#undef PARGPU_EQ
+}
+
+void
+expectImagesEqual(const Image &a, const Image &b)
+{
+    ASSERT_EQ(a.width(), b.width());
+    ASSERT_EQ(a.height(), b.height());
+    const std::vector<Color4f> &pa = a.pixels();
+    const std::vector<Color4f> &pb = b.pixels();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        // Bitwise float equality on purpose: the parallel path must do
+        // the exact same arithmetic.
+        ASSERT_EQ(pa[i].r, pb[i].r) << "pixel " << i;
+        ASSERT_EQ(pa[i].g, pb[i].g) << "pixel " << i;
+        ASSERT_EQ(pa[i].b, pb[i].b) << "pixel " << i;
+        ASSERT_EQ(pa[i].a, pb[i].a) << "pixel " << i;
+    }
+}
+
+void
+expectRunsEqual(const RunResult &a, const RunResult &b)
+{
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t f = 0; f < a.frames.size(); ++f)
+        expectStatsEqual(a.frames[f], b.frames[f]);
+    ASSERT_EQ(a.images.size(), b.images.size());
+    for (std::size_t f = 0; f < a.images.size(); ++f)
+        expectImagesEqual(a.images[f], b.images[f]);
+    EXPECT_EQ(a.avg_cycles, b.avg_cycles);
+    EXPECT_EQ(a.total_energy_nj, b.total_energy_nj);
+    EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+}
+
+GameTrace
+smallTrace()
+{
+    return buildGameTrace(GameId::HL2, 96, 80, 3);
+}
+
+} // namespace
+
+TEST(Determinism, RunTraceSerialVsParallelBaseline)
+{
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.threads = 1;
+    RunConfig parallel_cfg;
+    parallel_cfg.threads = 4;
+    expectRunsEqual(runTrace(trace, serial_cfg),
+                    runTrace(trace, parallel_cfg));
+}
+
+TEST(Determinism, RunTraceSerialVsParallelPatu)
+{
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Patu;
+    serial_cfg.threshold = 0.4f;
+    serial_cfg.threads = 1;
+    RunConfig parallel_cfg = serial_cfg;
+    parallel_cfg.threads = 4;
+    expectRunsEqual(runTrace(trace, serial_cfg),
+                    runTrace(trace, parallel_cfg));
+}
+
+TEST(Determinism, ThreadCountDoesNotMatter)
+{
+    GameTrace trace = smallTrace();
+    RunConfig cfg;
+    cfg.scenario = DesignScenario::Patu;
+    cfg.keep_images = false;
+    cfg.threads = 2;
+    RunResult two = runTrace(trace, cfg);
+    cfg.threads = 3;
+    RunResult three = runTrace(trace, cfg);
+    expectRunsEqual(two, three);
+}
+
+TEST(Determinism, RunSweepMatchesRunTrace)
+{
+    GameTrace trace = smallTrace();
+    std::vector<RunConfig> configs(3);
+    configs[0].scenario = DesignScenario::Baseline;
+    configs[1].scenario = DesignScenario::Patu;
+    configs[1].threshold = 0.4f;
+    configs[2].scenario = DesignScenario::NoAF;
+
+    std::vector<RunResult> sweep = runSweep(trace, configs, 4);
+    ASSERT_EQ(sweep.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        RunConfig serial = configs[i];
+        serial.threads = 1;
+        expectRunsEqual(runTrace(trace, serial), sweep[i]);
+    }
+}
+
+TEST(Determinism, ParallelSsimMatchesSerial)
+{
+    GameTrace trace = smallTrace();
+    RunConfig base_cfg;
+    RunConfig patu_cfg;
+    patu_cfg.scenario = DesignScenario::Patu;
+    RunResult base = runTrace(trace, base_cfg);
+    RunResult patu = runTrace(trace, patu_cfg);
+
+    ThreadPool::setDefaultThreads(1);
+    std::vector<float> serial_map =
+        ssimMap(base.images[0], patu.images[0]);
+    double serial_mssim = patu.mssimAgainst(base.images);
+
+    ThreadPool::setDefaultThreads(4);
+    std::vector<float> parallel_map =
+        ssimMap(base.images[0], patu.images[0]);
+    double parallel_mssim = patu.mssimAgainst(base.images);
+    ThreadPool::setDefaultThreads(0);
+
+    ASSERT_EQ(serial_map.size(), parallel_map.size());
+    for (std::size_t i = 0; i < serial_map.size(); ++i)
+        ASSERT_EQ(serial_map[i], parallel_map[i]) << "map index " << i;
+    EXPECT_EQ(serial_mssim, parallel_mssim);
+}
