@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# pargpu correctness matrix: one command that builds and tests the tree
+# under every supported analysis configuration and fails loudly on the
+# first problem.
+#
+#   1. Release + contracts (-DPARGPU_CHECKS=ON) + -Werror, full ctest
+#   2. AddressSanitizer build, full ctest
+#   3. UndefinedBehaviorSanitizer build (no-recover), full ctest
+#   4. ThreadSanitizer build, threading-focused ctest subset
+#   5. pargpu-lint standalone (includes header self-containment builds)
+#   6. clang-tidy over src/ (skipped with a note when not installed)
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+while getopts "j:" opt; do
+    case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
+
+cd "$ROOT"
+
+stage() {
+    echo
+    echo "==== check.sh: $* ===="
+}
+
+configure_build_test() {
+    local dir="$1"
+    shift
+    local ctest_args=("--output-on-failure" "-j" "$JOBS")
+    cmake -B "$dir" -S . "$@" >"$dir.configure.log" 2>&1 || {
+        cat "$dir.configure.log" >&2
+        return 1
+    }
+    cmake --build "$dir" -j "$JOBS"
+    ctest --test-dir "$dir" "${ctest_args[@]}"
+}
+
+stage "1/6 Release + contracts + -Werror"
+configure_build_test build-check \
+    -DCMAKE_BUILD_TYPE=Release -DPARGPU_CHECKS=ON -DPARGPU_WERROR=ON
+
+stage "2/6 AddressSanitizer"
+configure_build_test build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_ASAN=ON -DPARGPU_CHECKS=ON
+
+stage "3/6 UndefinedBehaviorSanitizer"
+configure_build_test build-ubsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_UBSAN=ON -DPARGPU_CHECKS=ON
+
+stage "4/6 ThreadSanitizer (threading subset)"
+cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_TSAN=ON \
+    >build-tsan.configure.log 2>&1 || { cat build-tsan.configure.log >&2; exit 1; }
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test"
+
+stage "5/6 pargpu-lint"
+python3 tools/pargpu_lint.py --root "$ROOT"
+
+stage "6/6 clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null
+    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+    clang-tidy -p build-check --quiet "${tidy_sources[@]}"
+else
+    echo "clang-tidy not installed; skipping (config committed in .clang-tidy)"
+fi
+
+stage "all stages passed"

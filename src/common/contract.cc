@@ -1,0 +1,174 @@
+#include "common/contract.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <mutex>
+
+namespace pargpu
+{
+namespace contract
+{
+
+namespace
+{
+
+/**
+ * Global site registry. Sites are function-local statics registered on
+ * first execution; the registry never removes entries (sites live for the
+ * whole process), so a snapshot can safely read counters without holding
+ * the registration mutex.
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<Site *> sites;
+    std::atomic<std::uint64_t> violations{0};
+    std::atomic<FailHandler> handler{nullptr};
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+[[noreturn]] void
+defaultFail(const Site &site, const std::string &msg)
+{
+    std::fprintf(stderr,
+                 "contract violation (%s) at %s:%d: %s\n",
+                 kindName(site.kind()), site.file(), site.line(),
+                 site.expr());
+    if (!msg.empty())
+        std::fprintf(stderr, "  %s\n", msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] void
+throwingFail(const Site &site, const std::string &msg)
+{
+    std::string what = std::string("contract violation (") +
+        kindName(site.kind()) + ") at " + site.file() + ":" +
+        std::to_string(site.line()) + ": " + site.expr();
+    if (!msg.empty())
+        what += " [" + msg + "]";
+    throw ContractViolation(what);
+}
+
+} // namespace
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Assert:
+        return "assert";
+      case Kind::Invariant:
+        return "invariant";
+      case Kind::Range:
+        return "range";
+    }
+    return "?";
+}
+
+Site::Site(Kind kind, const char *file, int line, const char *expr)
+    : kind_(kind), file_(file), line_(line), expr_(expr)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.sites.push_back(this);
+}
+
+ContractStats
+stats()
+{
+    Registry &r = registry();
+    ContractStats s;
+    std::vector<Site *> sites;
+    {
+        std::lock_guard<std::mutex> lk(r.mu);
+        sites = r.sites;
+    }
+    s.sites = sites.size();
+    s.violations = r.violations.load(std::memory_order_relaxed);
+    s.rows.reserve(sites.size());
+    for (const Site *site : sites) {
+        std::uint64_t c = site->checks();
+        s.checks += c;
+        s.rows.push_back({site->kind(), site->file(), site->line(),
+                          site->expr(), c});
+    }
+    std::sort(s.rows.begin(), s.rows.end(),
+              [](const ContractStats::Row &a, const ContractStats::Row &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  return a.line < b.line;
+              });
+    return s;
+}
+
+void
+resetStats()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (Site *site : r.sites)
+        site->resetCount();
+    r.violations.store(0, std::memory_order_relaxed);
+}
+
+void
+statsReport(std::ostream &os)
+{
+    ContractStats s = stats();
+    os << "contract stats: " << s.sites << " sites, " << s.checks
+       << " checks, " << s.violations << " violations\n";
+    std::size_t silent = 0;
+    for (const ContractStats::Row &row : s.rows) {
+        if (row.checks == 0) {
+            ++silent;
+            continue;
+        }
+        os << "  " << row.file << ":" << row.line << " ["
+           << kindName(row.kind) << "] " << row.expr << " = " << row.checks
+           << "\n";
+    }
+    if (silent > 0)
+        os << "  (" << silent << " sites never evaluated)\n";
+}
+
+FailHandler
+setFailHandler(FailHandler handler)
+{
+    Registry &r = registry();
+    FailHandler prev = r.handler.exchange(handler);
+    return prev;
+}
+
+ScopedFailHandler::ScopedFailHandler()
+    : prev_(setFailHandler(&throwingFail))
+{
+}
+
+ScopedFailHandler::~ScopedFailHandler()
+{
+    setFailHandler(prev_);
+}
+
+void
+fail(Site &site, const std::string &msg)
+{
+    Registry &r = registry();
+    r.violations.fetch_add(1, std::memory_order_relaxed);
+    FailHandler handler = r.handler.load();
+    if (handler != nullptr)
+        handler(site, msg);
+    // A custom handler that returns (or none installed) must not let
+    // execution continue past a violated contract.
+    defaultFail(site, msg);
+}
+
+} // namespace contract
+} // namespace pargpu

@@ -100,7 +100,7 @@ struct ThreadPool::Impl
 };
 
 ThreadPool::ThreadPool(unsigned workers)
-    : impl_(new Impl)
+    : impl_(std::make_unique<Impl>())
 {
     impl_->spawn(workers);
 }
@@ -114,7 +114,6 @@ ThreadPool::~ThreadPool()
     impl_->cv.notify_all();
     for (std::thread &t : impl_->workers)
         t.join();
-    delete impl_;
 }
 
 unsigned

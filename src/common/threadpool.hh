@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace pargpu
@@ -96,7 +97,7 @@ class ThreadPool
 
   private:
     struct Impl;
-    Impl *impl_;
+    std::unique_ptr<Impl> impl_; ///< Out-of-line dtor sees the full Impl.
 };
 
 } // namespace pargpu

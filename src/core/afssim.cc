@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 
 namespace pargpu
@@ -32,9 +33,12 @@ entropyBits(const std::vector<float> &p)
 {
     float e = 0.0f;
     for (float pi : p) {
+        // count * (1/total) can land one ulp above 1.0 when count==total.
+        PARGPU_CHECK_RANGE(pi, 0.0f, 1.0f + 1e-5f, "probability mass");
         if (pi > 0.0f)
             e -= pi * std::log2(pi);
     }
+    PARGPU_INVARIANT(e >= -1e-4f, "entropy must be non-negative: ", e);
     return e;
 }
 

@@ -1,11 +1,16 @@
 #include "core/hashtable.hh"
 
+#include "common/contract.hh"
+
 namespace pargpu
 {
 
 bool
 TexelAddressTable::insert(const TexelAddrSet &addrs)
 {
+    PARGPU_INVARIANT(valid_ >= 0 && valid_ <= capacity(),
+                     "occupancy out of bounds: valid=", valid_,
+                     " capacity=", capacity());
     ++inserted_;
     // Top-to-bottom associative compare, as in the hardware description.
     for (int i = 0; i < valid_; ++i) {
@@ -14,6 +19,9 @@ TexelAddressTable::insert(const TexelAddrSet &addrs)
             constexpr unsigned max_count = (1u << kCountBits) - 1;
             if (entries_[i].count < max_count + 1)
                 ++entries_[i].count;
+            PARGPU_INVARIANT(entries_[i].count <= max_count + 1,
+                             "count tag overflow: count=",
+                             entries_[i].count);
             return true;
         }
     }
@@ -39,6 +47,11 @@ TexelAddressTable::probabilityVector() const
     int stored = 0;
     for (int i = 0; i < valid_; ++i)
         stored += static_cast<int>(entries_[i].count);
+    // Entries only accumulate via insert(), so the stored mass can never
+    // exceed the inserted sample count (an overflowing ablation table
+    // drops samples; it never invents them).
+    PARGPU_INVARIANT(stored <= inserted_,
+                     "stored=", stored, " inserted=", inserted_);
     // Samples dropped by an overflowing (ablation-sized) table must be
     // treated as distinct singleton events: assuming anything else would
     // understate the entropy and approve AF approximations the full

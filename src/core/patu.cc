@@ -1,5 +1,6 @@
 #include "core/patu.hh"
 
+#include "common/contract.hh"
 #include "core/afssim.hh"
 
 namespace pargpu
@@ -52,6 +53,8 @@ PatuUnit::preDecide(const AnisotropyInfo &info)
     // available right after Texel Generation — before the pipeline
     // quantizes it to an issued sample count.
     d.af_ssim_n = afSsimFromSampleSize(info.anisoDegree);
+    PARGPU_CHECK_RANGE(d.af_ssim_n, 0.0f, 1.0f,
+                       "AF-SSIM(N) is a similarity, N=", info.anisoDegree);
     stats_.inc("patu.pixels");
 
     // Scenario forcing: Baseline always filters AF, NoAF never does.
@@ -127,6 +130,13 @@ PatuUnit::finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
     d.txds_value = txds(table_.probabilityVector(),
                         static_cast<int>(samples.size()));
     d.af_ssim_txds = afSsimFromTxds(d.txds_value);
+    PARGPU_CHECK_RANGE(d.txds_value, 0.0f, 1.0f, "Txds is normalized");
+    PARGPU_CHECK_RANGE(d.af_ssim_txds, 0.0f, 1.0f,
+                       "AF-SSIM(Txds) is a similarity");
+    PARGPU_INVARIANT(table_.samplesInserted() ==
+                         static_cast<int>(samples.size()),
+                     "hash table lost samples: inserted=",
+                     table_.samplesInserted(), " expected=", samples.size());
 
     if (d.af_ssim_txds > config_.threshold) {
         d.approximate = true;

@@ -1,12 +1,39 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iostream>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 
 namespace pargpu
 {
+
+namespace
+{
+
+/**
+ * ContractStats harness hook: when PARGPU_CONTRACT_REPORT is set in the
+ * environment, the first runTrace() registers an atexit dump of every
+ * contract site's evaluation count — the cheap way to confirm a run
+ * actually exercised the pipeline's invariants (scripts/check.sh greps
+ * for it).
+ */
+void
+armContractReport()
+{
+    static const bool armed = [] {
+        if (std::getenv("PARGPU_CONTRACT_REPORT") == nullptr)
+            return false;
+        std::atexit([] { contract::statsReport(std::cerr); });
+        return true;
+    }();
+    (void)armed;
+}
+
+} // namespace
 
 double
 RunResult::mssimAgainst(const std::vector<Image> &reference) const
@@ -44,6 +71,7 @@ makeGpuConfig(const RunConfig &config)
 RunResult
 runTrace(const GameTrace &trace, const RunConfig &config)
 {
+    armContractReport();
     const std::size_t n = trace.cameras.size();
     const unsigned want = config.threads > 0
         ? static_cast<unsigned>(config.threads)
@@ -93,6 +121,12 @@ runTrace(const GameTrace &trace, const RunConfig &config)
         result.avg_cycles = cycles / static_cast<double>(n);
         result.avg_power_w = power / static_cast<double>(n);
     }
+    PARGPU_INVARIANT(result.avg_cycles >= 0.0 &&
+                         result.total_energy_nj >= 0.0 &&
+                         result.avg_power_w >= 0.0,
+                     "negative aggregate: cycles=", result.avg_cycles,
+                     " energy=", result.total_energy_nj,
+                     " power=", result.avg_power_w);
     return result;
 }
 

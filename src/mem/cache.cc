@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 
 namespace pargpu
@@ -50,6 +51,7 @@ SetAssocCache::access(Addr addr)
 {
     unsigned set = setIndex(addr);
     Addr tag = tagOf(addr);
+    PARGPU_CHECK_RANGE(set, 0u, num_sets_ - 1, "set index mapping");
     Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
     ++use_clock_;
 
@@ -73,6 +75,13 @@ SetAssocCache::access(Addr addr)
     victim->tag = tag;
     victim->last_use = use_clock_;
     ++misses_;
+    // The eviction victim must come from the addressed set — anything
+    // else silently corrupts another set's contents and the hit-rate
+    // stats with it.
+    PARGPU_INVARIANT(victim >= base && victim < base + config_.assoc,
+                     "victim escaped its set: set=", set);
+    PARGPU_INVARIANT(victim->last_use == use_clock_,
+                     "filled line missing its LRU touch");
     return false;
 }
 

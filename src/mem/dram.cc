@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 
 namespace pargpu
@@ -74,6 +75,15 @@ DramModel::read(Addr addr, Cycle now, unsigned view)
     Cycle data_ready = start + access;
     Cycle bus_start = std::max(data_ready, bus_until);
     r.complete = config_.t_base + bus_start + transfer;
+
+    // Timestamps only move forward: a request can finish no earlier than
+    // it started, and the burst occupies the bus for at least one cycle.
+    PARGPU_INVARIANT(transfer >= 1, "zero-cycle burst transfer");
+    PARGPU_INVARIANT(r.complete >= now + access,
+                     "DRAM completion ran backwards: now=", now,
+                     " complete=", r.complete);
+    PARGPU_INVARIANT(bus_start + transfer >= bus_until,
+                     "channel bus timestamp regressed");
 
     bank.open_row = row;
     bank_until = data_ready;

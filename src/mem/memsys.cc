@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 
 namespace pargpu
@@ -34,6 +35,9 @@ MemorySystem::MemorySystem(const MemSysConfig &config)
 Cycle
 MemorySystem::read(unsigned cluster, Addr addr, Cycle now, TrafficClass cls)
 {
+    PARGPU_ASSERT(cluster < config_.clusters,
+                  "read from unknown cluster ", cluster, " of ",
+                  config_.clusters);
     // Geometry traffic runs on the front-end clock: give it the extra
     // DRAM timing view so it cannot interfere with cluster timelines.
     unsigned view = cls == TrafficClass::Geometry ? config_.clusters

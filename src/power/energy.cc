@@ -1,5 +1,7 @@
 #include "power/energy.hh"
 
+#include "common/contract.hh"
+
 namespace pargpu
 {
 
@@ -28,12 +30,21 @@ computeEnergy(const FrameStats &stats, const EnergyParams &params)
     double dram_bytes = static_cast<double>(stats.totalTraffic());
     double row_misses =
         static_cast<double>(stats.dram_reads) - stats.dram_row_hits;
+    // Every row hit is a read, so the miss count cannot go negative; a
+    // violation here means per-frame stat deltas were mis-accumulated.
+    PARGPU_INVARIANT(row_misses >= 0.0,
+                     "dram_row_hits=", stats.dram_row_hits,
+                     " exceeds dram_reads=", stats.dram_reads);
     e.dram_nj = nj(dram_bytes * params.dram_byte_pj +
                    row_misses * params.dram_row_act_pj);
 
     e.static_nj = nj(static_cast<double>(stats.total_cycles) *
                      (params.gpu_leak_pj_per_cycle +
                       params.dram_back_pj_per_cycle));
+    PARGPU_INVARIANT(e.shader_nj >= 0.0 && e.filter_nj >= 0.0 &&
+                         e.table_nj >= 0.0 && e.cache_nj >= 0.0 &&
+                         e.dram_nj >= 0.0 && e.static_nj >= 0.0,
+                     "negative energy component; total=", e.total_nj());
     return e;
 }
 
@@ -43,6 +54,7 @@ averagePowerW(const EnergyBreakdown &e, const FrameStats &stats,
 {
     if (stats.total_cycles == 0)
         return 0.0;
+    PARGPU_ASSERT(freq_ghz > 0.0, "frequency must be positive: ", freq_ghz);
     double seconds =
         static_cast<double>(stats.total_cycles) / (freq_ghz * 1e9);
     return e.total_nj() * 1e-9 / seconds;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 
@@ -115,6 +116,8 @@ ssimMap(const Image &x, const Image &y, const SsimParams &params)
         }
     });
 
+    PARGPU_ASSERT(params.sigma > 0.0f,
+                  "Gaussian sigma must be positive: ", params.sigma);
     std::vector<float> kernel = gaussianKernel(params.window, params.sigma);
     std::vector<float> tmp(n);
     std::vector<float> mu_x(n), mu_y(n), m_xx(n), m_yy(n), m_xy(n);
@@ -158,7 +161,12 @@ mssimOfMap(const std::vector<float> &map)
     double sum = 0.0;
     for (float v : map)
         sum += v;
-    return sum / static_cast<double>(map.size());
+    double m = sum / static_cast<double>(map.size());
+    // SSIM of real image pairs is bounded by [-1, 1]; our rendered pairs
+    // stay non-negative but anticorrelated windows are legal, so contract
+    // the mathematical bound (with one ulp of slack for the summation).
+    PARGPU_CHECK_RANGE(m, -1.0 - 1e-6, 1.0 + 1e-6, "MSSIM bound");
+    return m;
 }
 
 Image

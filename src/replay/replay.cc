@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contract.hh"
+
 namespace pargpu
 {
 
@@ -38,6 +40,13 @@ simulateReplay(const std::vector<Cycle> &frame_cycles,
     r.avg_fps = fps_sum / static_cast<double>(frame_cycles.size());
     r.lag_fraction =
         static_cast<double>(lagged) / frame_cycles.size();
+    // Vsync quantization can only lower FPS, never raise it above the
+    // refresh rate, and the lag fraction is a proper fraction.
+    PARGPU_CHECK_RANGE(r.avg_fps, 0.0, config.refresh_hz + 1e-9,
+                       "vsync-quantized FPS bound");
+    PARGPU_CHECK_RANGE(r.lag_fraction, 0.0, 1.0, "lag fraction");
+    PARGPU_INVARIANT(r.min_fps <= r.max_fps + 1e-9,
+                     "min_fps=", r.min_fps, " max_fps=", r.max_fps);
     return r;
 }
 

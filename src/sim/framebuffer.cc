@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/contract.hh"
 #include "sim/config.hh"
 
 namespace pargpu
@@ -26,6 +27,8 @@ Framebuffer::clear(const Color4f &c)
 bool
 Framebuffer::depthTest(int x, int y, float depth)
 {
+    PARGPU_CHECK_RANGE(x, 0, width() - 1, "depth test x");
+    PARGPU_CHECK_RANGE(y, 0, height() - 1, "depth test y");
     float &stored = depth_[static_cast<std::size_t>(y) * width() + x];
     if (depth < stored) {
         stored = depth;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 #include "sim/framebuffer.hh"
 #include "sim/raster.hh"
@@ -276,12 +277,28 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         fs.l1_hits += mem_->textureL1(c).hits();
         fs.l1_misses += mem_->textureL1(c).misses();
     }
+    // Lifetime counters only grow, so all per-frame deltas must come out
+    // non-negative; a violation means the snapshot/delta pairing broke
+    // (the bug class PR 1 fixed) and the frame's stats are invalid.
+    PARGPU_INVARIANT(fs.l1_hits >= base.l1_hits &&
+                         fs.l1_misses >= base.l1_misses,
+                     "L1 counters regressed within a frame");
     fs.l1_hits -= base.l1_hits;
     fs.l1_misses -= base.l1_misses;
+    PARGPU_INVARIANT(mem_->llc().hits() >= base.llc_hits &&
+                         mem_->llc().misses() >= base.llc_misses &&
+                         mem_->dram().reads() >= base.dram_reads &&
+                         mem_->dram().rowHits() >= base.dram_row_hits,
+                     "LLC/DRAM counters regressed within a frame");
     fs.llc_hits = mem_->llc().hits() - base.llc_hits;
     fs.llc_misses = mem_->llc().misses() - base.llc_misses;
     fs.dram_reads = mem_->dram().reads() - base.dram_reads;
     fs.dram_row_hits = mem_->dram().rowHits() - base.dram_row_hits;
+    PARGPU_INVARIANT(fs.dram_row_hits <= fs.dram_reads,
+                     "row hits exceed DRAM reads: ", fs.dram_row_hits,
+                     " > ", fs.dram_reads);
+    PARGPU_INVARIANT(fs.total_cycles >= fs.fragment_cycles,
+                     "total cycles below the fragment phase");
 
     FrameOutput out;
     out.image = fb.color();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/contract.hh"
+
 namespace pargpu
 {
 
@@ -80,12 +82,17 @@ finishSetup(ScreenVertex sv[3], float shade, int texture_id,
     // (front-facing) triangle has positive area here.
     if (cull && area2 <= 0.0f)
         return false;
-    if (area2 == 0.0f)
+    // Exact-zero test: a degenerate triangle produces exactly 0 from the
+    // edge function; near-zero slivers must still rasterize.
+    if (area2 == 0.0f) // pargpu-lint: allow(float-eq)
         return false;
     if (area2 < 0.0f) {
         std::swap(sv[1], sv[2]);
         area2 = -area2;
     }
+    PARGPU_ASSERT(area2 > 0.0f && std::isfinite(1.0f / area2),
+                  "degenerate triangle escaped the area test: area2=",
+                  area2);
 
     out.v[0] = sv[0];
     out.v[1] = sv[1];

@@ -129,7 +129,10 @@ rasterizeTriangle(const SetupTriangle &tri, int x0, int y0, int x1, int y1,
                 float inv_w = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w;
                 float u_w = w0 * a.u_w + w1 * b.u_w + w2 * c.u_w;
                 float v_w = w0 * a.v_w + w1 * b.v_w + w2 * c.v_w;
-                float rcp = inv_w != 0.0f ? 1.0f / inv_w : 0.0f;
+                // Exact-zero guard against dividing by an extrapolated
+                // 1/w of 0; near-zero values are valid and must divide.
+                float rcp = // pargpu-lint: allow(float-eq)
+                    inv_w != 0.0f ? 1.0f / inv_w : 0.0f;
                 quad.uv[i] = Vec2{u_w * rcp, v_w * rcp};
                 quad.depth[i] = w0 * a.z + w1 * b.z + w2 * c.z;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contract.hh"
+
 namespace pargpu
 {
 
@@ -9,6 +11,11 @@ TextureUnit::TextureUnit(const GpuConfig &config, unsigned cluster,
                          MemorySystem &mem)
     : config_(config), cluster_(cluster), mem_(&mem), patu_(config.patu)
 {
+    PARGPU_ASSERT(config.addr_alus >= 1 && config.addr_alus <= 8,
+                  "address ALU count must divide the 8-texel footprint: ",
+                  config.addr_alus);
+    PARGPU_ASSERT(config.max_aniso >= 1,
+                  "max_aniso must be positive: ", config.max_aniso);
 }
 
 Cycle
@@ -28,6 +35,9 @@ TextureUnit::fetchSample(const TrilinearSample &s, Cycle now)
         if (!seen)
             lines[n_lines++] = la;
     }
+    // A trilinear footprint is exactly 8 texels, so line coalescing can
+    // produce between 1 and 8 unique lines.
+    PARGPU_CHECK_RANGE(n_lines, 1, 8, "footprint line coalescing");
     Cycle done = now;
     for (int i = 0; i < n_lines; ++i) {
         Cycle c = mem_->read(cluster_, lines[i], now,
@@ -36,6 +46,9 @@ TextureUnit::fetchSample(const TrilinearSample &s, Cycle now)
     }
     stats_.texels += 8;
     ++stats_.trilinear_samples;
+    PARGPU_INVARIANT(done >= now,
+                     "memory time ran backwards: now=", now,
+                     " done=", done);
     return done;
 }
 
@@ -80,6 +93,8 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
         }
 
         // Anisotropic path with the PATU decision flow (Fig. 13).
+        PARGPU_ASSERT(info.sampleSize >= 1,
+                      "anisotropy N must be >= 1: ", info.sampleSize);
         if (info.sampleSize > 1) {
             ++stats_.af_candidate_pixels;
             any_af_pixel = true;
@@ -124,6 +139,11 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
 
         if (d.approximate) {
             any_approx = any_approx || info.sampleSize > 1;
+            // The decision LOD must be a usable mip coordinate: finite
+            // and not below the base level (trilinear() clamps the top
+            // end against the actual chain length).
+            PARGPU_ASSERT(d.lod >= 0.0f && d.lod <= 32.0f,
+                          "decision LOD out of mip-chain bounds: ", d.lod);
             // TF at the decision's LOD. Stage-2 approximations pay one
             // extra address-recalculation loop (Section V-B).
             FilterResult fr = sampler.filterTrilinear(quad.uv[i], d.lod);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 
 namespace pargpu
@@ -42,6 +43,11 @@ buildMipPyramid(int width, int height, std::vector<RGBA8> base)
         }
         levels.push_back(std::move(dst));
     }
+    // A power-of-two pyramid always terminates at 1x1 after exactly
+    // log2(max(w, h)) + 1 levels; the texel addressing relies on it.
+    PARGPU_INVARIANT(levels.back().width == 1 && levels.back().height == 1,
+                     "pyramid apex is ", levels.back().width, "x",
+                     levels.back().height);
     return levels;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hh"
+
 namespace pargpu
 {
 
@@ -53,6 +55,16 @@ TextureSampler::computeAnisotropy(const Vec2 &duvdx, const Vec2 &duvdy,
     // axis so each of the N samples stays sharp (Section V-C(2)).
     info.lodTF = std::log2(std::max(info.pMax, 1.0f));
     info.lodAF = std::log2(std::max(info.pMin, 1.0f));
+    PARGPU_CHECK_RANGE(info.anisoDegree, 1, max_aniso,
+                       "anisotropy degree escaped the clamp");
+    PARGPU_CHECK_RANGE(info.sampleSize, 1, max_aniso,
+                       "issued sample count escaped the clamp");
+    PARGPU_INVARIANT(info.lodAF <= info.lodTF,
+                     "AF LOD coarser than TF LOD: lodAF=", info.lodAF,
+                     " lodTF=", info.lodTF);
+    PARGPU_ASSERT(std::isfinite(info.lodTF) && std::isfinite(info.lodAF),
+                  "non-finite LOD from derivatives: lodTF=", info.lodTF,
+                  " lodAF=", info.lodAF);
     return info;
 }
 
@@ -92,6 +104,11 @@ TextureSampler::trilinear(const Vec2 &uv, float lod) const
         s.level1 = s.level0 + 1;
         s.frac = lod - static_cast<float>(s.level0);
     }
+    // The selected levels must land inside the mip chain (the clamps
+    // above guarantee it for any finite lod, including negatives).
+    PARGPU_CHECK_RANGE(s.level0, 0, max_level, "lod=", lod);
+    PARGPU_CHECK_RANGE(s.level1, s.level0, max_level, "lod=", lod);
+    PARGPU_CHECK_RANGE(s.frac, 0.0f, 1.0f, "lod=", lod);
 
     Color4f acc{0, 0, 0, 0};
     int slot = 0;
@@ -146,6 +163,7 @@ TextureSampler::filterAnisotropic(const Vec2 &uv,
 {
     FilterResult r;
     const int n = info.sampleSize;
+    PARGPU_ASSERT(n >= 1, "anisotropic filter needs n >= 1, got ", n);
     r.samples.reserve(n);
     Color4f acc{0, 0, 0, 0};
     // Sample centers span only the ellipse interior: each trilinear

@@ -1,5 +1,6 @@
 #include "texture/texture.hh"
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 #include "texture/mipmap.hh"
 
@@ -48,9 +49,13 @@ TextureMap::wrapCoord(int c, int extent, WrapMode mode)
 Addr
 TextureMap::texelAddr(int level, int x, int y) const
 {
-    const MipLevel &lv = levels_[level];
+    PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "texelAddr level");
+    const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
     int wx = wrapCoord(x, lv.width, wrap_);
     int wy = wrapCoord(y, lv.height, wrap_);
+    PARGPU_INVARIANT(wx >= 0 && wx < lv.width && wy >= 0 && wy < lv.height,
+                     "wrapCoord escaped the level: (", wx, ", ", wy,
+                     ") in ", lv.width, "x", lv.height);
     if (format_ == StorageFormat::BC1) {
         // Compressed storage is addressed at block granularity: all 16
         // texels of a 4x4 block live in one 8-byte record.
@@ -76,7 +81,8 @@ TextureMap::texelAddr(int level, int x, int y) const
 Color4f
 TextureMap::fetchTexel(int level, int x, int y) const
 {
-    const MipLevel &lv = levels_[level];
+    PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "fetchTexel level");
+    const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
     int wx = wrapCoord(x, lv.width, wrap_);
     int wy = wrapCoord(y, lv.height, wrap_);
     if (format_ == StorageFormat::BC1) {

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Contract-subsystem behavior: macros fire on violation in checked
+ * builds (this TU forces checks on, so the build type doesn't matter),
+ * are zero-evaluation no-ops in unchecked builds (helper TU with checks
+ * forced off), and every evaluation is counted in ContractStats.
+ */
+
+#define PARGPU_FORCE_CHECKED 1
+#include "common/contract.hh"
+
+#include <gtest/gtest.h>
+
+using pargpu::contract::ContractStats;
+using pargpu::contract::ContractViolation;
+using pargpu::contract::ScopedFailHandler;
+
+namespace pargpu_contract_test
+{
+int uncheckedEvaluations();
+bool uncheckedViolationSurvives();
+} // namespace pargpu_contract_test
+
+namespace
+{
+
+TEST(ContractTest, PassingContractsDoNotFire)
+{
+    ScopedFailHandler guard;
+    int n = 3;
+    EXPECT_NO_THROW({
+        PARGPU_ASSERT(n == 3, "n=", n);
+        PARGPU_INVARIANT(n > 0, "n=", n);
+        PARGPU_CHECK_RANGE(n, 0, 16, "n in table bounds");
+    });
+}
+
+TEST(ContractTest, AssertFiresOnViolation)
+{
+    ScopedFailHandler guard;
+    int lod = -2;
+    EXPECT_THROW(PARGPU_ASSERT(lod >= 0, "lod=", lod), ContractViolation);
+}
+
+TEST(ContractTest, InvariantFiresOnViolation)
+{
+    ScopedFailHandler guard;
+    EXPECT_THROW(PARGPU_INVARIANT(false, "broken state"),
+                 ContractViolation);
+}
+
+TEST(ContractTest, CheckRangeBoundsAreInclusive)
+{
+    ScopedFailHandler guard;
+    EXPECT_NO_THROW(PARGPU_CHECK_RANGE(0, 0, 16));
+    EXPECT_NO_THROW(PARGPU_CHECK_RANGE(16, 0, 16));
+    EXPECT_THROW(PARGPU_CHECK_RANGE(-1, 0, 16), ContractViolation);
+    EXPECT_THROW(PARGPU_CHECK_RANGE(17, 0, 16), ContractViolation);
+    EXPECT_NO_THROW(PARGPU_CHECK_RANGE(0.5f, 0.0f, 1.0f));
+    EXPECT_THROW(PARGPU_CHECK_RANGE(1.5f, 0.0f, 1.0f), ContractViolation);
+}
+
+TEST(ContractTest, MessageCarriesSiteAndStreamedValues)
+{
+    ScopedFailHandler guard;
+    int aniso = 37;
+    try {
+        PARGPU_ASSERT(aniso <= 16, "anisotropy N=", aniso, " exceeds max");
+        FAIL() << "contract did not fire";
+    } catch (const ContractViolation &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("contract_test.cc"), std::string::npos) << what;
+        EXPECT_NE(what.find("aniso <= 16"), std::string::npos) << what;
+        EXPECT_NE(what.find("anisotropy N=37 exceeds max"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("assert"), std::string::npos) << what;
+    }
+}
+
+TEST(ContractTest, RangeMessageCarriesValueAndBounds)
+{
+    ScopedFailHandler guard;
+    try {
+        PARGPU_CHECK_RANGE(42, 0, 16, "table occupancy");
+        FAIL() << "contract did not fire";
+    } catch (const ContractViolation &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("value=42"), std::string::npos) << what;
+        EXPECT_NE(what.find("range=[0, 16]"), std::string::npos) << what;
+        EXPECT_NE(what.find("table occupancy"), std::string::npos) << what;
+    }
+}
+
+TEST(ContractTest, StatsCountEveryEvaluation)
+{
+    ContractStats before = pargpu::contract::stats();
+    const int kLoops = 100;
+    for (int i = 0; i < kLoops; ++i) {
+        PARGPU_ASSERT(i >= 0, "i=", i);
+    }
+    ContractStats after = pargpu::contract::stats();
+    EXPECT_EQ(after.checks, before.checks + kLoops);
+    // The loop's site registered exactly once and counted every pass.
+    EXPECT_EQ(after.sites, before.sites + 1);
+    bool found = false;
+    for (const ContractStats::Row &row : after.rows) {
+        if (row.expr == std::string("i >= 0")) {
+            found = true;
+            EXPECT_EQ(row.checks, static_cast<std::uint64_t>(kLoops));
+            EXPECT_NE(row.file.find("contract_test.cc"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ContractTest, StatsCountViolations)
+{
+    ScopedFailHandler guard;
+    ContractStats before = pargpu::contract::stats();
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_THROW(PARGPU_INVARIANT(false, "counted"), ContractViolation);
+    }
+    ContractStats after = pargpu::contract::stats();
+    EXPECT_EQ(after.violations, before.violations + 3);
+}
+
+TEST(ContractTest, StatsReportMentionsTotals)
+{
+    PARGPU_ASSERT(true, "make sure at least one site exists");
+    std::ostringstream os;
+    pargpu::contract::statsReport(os);
+    std::string report = os.str();
+    EXPECT_NE(report.find("contract stats:"), std::string::npos) << report;
+    EXPECT_NE(report.find("sites"), std::string::npos) << report;
+    EXPECT_NE(report.find("checks"), std::string::npos) << report;
+}
+
+TEST(ContractTest, UncheckedBuildEvaluatesNothing)
+{
+    ContractStats before = pargpu::contract::stats();
+    // The helper TU's side-effecting operands must never run...
+    EXPECT_EQ(pargpu_contract_test::uncheckedEvaluations(), 0);
+    // ...violated contracts must be dead code...
+    EXPECT_TRUE(pargpu_contract_test::uncheckedViolationSurvives());
+    // ...and no Site may have registered or counted from that TU.
+    ContractStats after = pargpu::contract::stats();
+    EXPECT_EQ(after.sites, before.sites);
+    EXPECT_EQ(after.checks, before.checks);
+    EXPECT_EQ(after.violations, before.violations);
+}
+
+#if !defined(__SANITIZE_THREAD__)
+TEST(ContractDeathTest, DefaultHandlerAborts)
+{
+    // Without a test handler a violation must terminate the process.
+    EXPECT_DEATH(PARGPU_INVARIANT(false, "fatal by default"),
+                 "contract violation");
+}
+#endif
+
+} // namespace

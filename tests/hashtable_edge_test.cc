@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Edge cases of PATU's texel-address hash table, guarded by the new
+ * contract invariants: overflow of ablation-sized tables, duplicate
+ * texel-address sets with count-tag saturation, and address keys at the
+ * wraparound end of the 32-bit texel address space.
+ */
+
+#include "core/hashtable.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using pargpu::Addr;
+using pargpu::TexelAddressTable;
+using pargpu::TexelAddrSet;
+
+namespace
+{
+
+TexelAddrSet
+setOf(Addr base)
+{
+    TexelAddrSet s;
+    for (int i = 0; i < 8; ++i)
+        s[i] = base + static_cast<Addr>(i) * 4;
+    return s;
+}
+
+float
+vectorSum(const std::vector<float> &p)
+{
+    float sum = 0.0f;
+    for (float v : p)
+        sum += v;
+    return sum;
+}
+
+TEST(HashTableEdgeTest, FullTableDropsOverflowingSets)
+{
+    // Ablation-sized table: 4 entries, 8 distinct sample sets. The last
+    // four find the table full and are dropped from storage — but not
+    // from the probability distribution, where each dropped sample must
+    // appear as a singleton (conservative Txds).
+    TexelAddressTable t(4);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(t.insert(setOf(static_cast<Addr>(i) * 0x1000)));
+
+    EXPECT_EQ(t.distinctSets(), 4);
+    EXPECT_EQ(t.samplesInserted(), 8);
+
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 8u); // 4 stored + 4 dropped singletons.
+    for (float v : p)
+        EXPECT_NEAR(v, 1.0f / 8.0f, 1e-6f);
+    EXPECT_NEAR(vectorSum(p), 1.0f, 1e-5f);
+}
+
+TEST(HashTableEdgeTest, FullTableStillMatchesStoredEntries)
+{
+    // A full table must keep recognizing already-stored sets (shared
+    // samples) even though it cannot store new ones.
+    TexelAddressTable t(2);
+    EXPECT_FALSE(t.insert(setOf(0x100)));
+    EXPECT_FALSE(t.insert(setOf(0x200)));
+    EXPECT_FALSE(t.insert(setOf(0x300))); // dropped
+    EXPECT_TRUE(t.insert(setOf(0x100)));  // still matches entry 0
+    EXPECT_TRUE(t.insert(setOf(0x200)));  // still matches entry 1
+    EXPECT_FALSE(t.insert(setOf(0x300))); // dropped again, no memory of it
+    EXPECT_EQ(t.distinctSets(), 2);
+    EXPECT_EQ(t.samplesInserted(), 6);
+}
+
+TEST(HashTableEdgeTest, DuplicateSetsShareOneEntry)
+{
+    TexelAddressTable t;
+    EXPECT_FALSE(t.insert(setOf(0x4000)));
+    for (int i = 0; i < 7; ++i)
+        EXPECT_TRUE(t.insert(setOf(0x4000)));
+
+    EXPECT_EQ(t.distinctSets(), 1);
+    EXPECT_EQ(t.samplesInserted(), 8);
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_NEAR(p[0], 1.0f, 1e-6f);
+}
+
+TEST(HashTableEdgeTest, CountTagSaturatesAtSixteenSamples)
+{
+    // The 4-bit count tag stores up to 15 extra hits (16 samples). With
+    // 20 inserts of one set the stored mass saturates at 16 and the
+    // remaining 4 samples surface as dropped singletons — keeping the
+    // distribution normalized (and the stored<=inserted invariant holds).
+    TexelAddressTable t;
+    const int kInserts = 20;
+    for (int i = 0; i < kInserts; ++i)
+        t.insert(setOf(0x8000));
+
+    EXPECT_EQ(t.distinctSets(), 1);
+    EXPECT_EQ(t.samplesInserted(), kInserts);
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 1u + (kInserts - 16));
+    EXPECT_NEAR(p[0], 16.0f / kInserts, 1e-6f);
+    for (std::size_t i = 1; i < p.size(); ++i)
+        EXPECT_NEAR(p[i], 1.0f / kInserts, 1e-6f);
+    EXPECT_NEAR(vectorSum(p), 1.0f, 1e-5f);
+}
+
+TEST(HashTableEdgeTest, WraparoundKeysStayDistinct)
+{
+    // Texel addresses at the very top of the address space: sets whose
+    // members straddle the 32-bit wraparound boundary (the hardware
+    // compares full words, so 0xFFFFFFFC and 0x00000000 are distinct
+    // keys, never aliased).
+    const Addr top32 = 0xFFFF'FFFCu;
+    TexelAddressTable t;
+    EXPECT_FALSE(t.insert(setOf(top32)));
+    EXPECT_FALSE(t.insert(setOf(0)));
+    EXPECT_EQ(t.distinctSets(), 2);
+    EXPECT_TRUE(t.insert(setOf(top32)));
+    EXPECT_EQ(t.distinctSets(), 2);
+
+    // A set differing only in its last member must not collide.
+    TexelAddrSet almost = setOf(top32);
+    almost[7] = ~Addr{0};
+    EXPECT_FALSE(t.insert(almost));
+    EXPECT_EQ(t.distinctSets(), 3);
+}
+
+TEST(HashTableEdgeTest, ResetClearsOccupancyAndDistribution)
+{
+    TexelAddressTable t(4);
+    for (int i = 0; i < 6; ++i)
+        t.insert(setOf(static_cast<Addr>(i) * 0x40));
+    t.reset();
+    EXPECT_EQ(t.distinctSets(), 0);
+    EXPECT_EQ(t.samplesInserted(), 0);
+    EXPECT_TRUE(t.probabilityVector().empty());
+
+    // The table is fully reusable after reset.
+    EXPECT_FALSE(t.insert(setOf(0x123)));
+    EXPECT_TRUE(t.insert(setOf(0x123)));
+    EXPECT_EQ(t.distinctSets(), 1);
+}
+
+TEST(HashTableEdgeTest, SingleEntryTableIsConservative)
+{
+    // The degenerate 1-entry ablation: everything beyond the first
+    // distinct set drops, and the distribution stays normalized.
+    TexelAddressTable t(1);
+    for (int i = 0; i < 4; ++i)
+        t.insert(setOf(static_cast<Addr>(i) * 0x10));
+    EXPECT_EQ(t.distinctSets(), 1);
+    std::vector<float> p = t.probabilityVector();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_NEAR(vectorSum(p), 1.0f, 1e-5f);
+}
+
+} // namespace

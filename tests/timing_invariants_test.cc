@@ -61,8 +61,9 @@ TEST(TimingInvariantsTest, ThresholdMonotoneInCycles)
     double prev = 0.0;
     for (float t : {0.0f, 0.2f, 0.4f, 0.6f, 0.8f, 1.0f}) {
         double c = cyclesAt(DesignScenario::Patu, t);
-        if (prev > 0.0)
+        if (prev > 0.0) {
             EXPECT_GE(c, prev * 0.98) << "threshold " << t;
+        }
         prev = c;
     }
 }

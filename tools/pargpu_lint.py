@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""pargpu custom static checker.
+
+Enforces project-specific rules over src/ that neither the compiler nor
+clang-tidy covers out of the box:
+
+  rand         no rand()/srand()/std::rand — simulations must use the
+               deterministic pargpu RNG (common/rng.hh)
+  raw-new      no raw new/delete — ownership goes through containers or
+               smart pointers ("= delete" declarations are fine)
+  float-eq     no ==/!= against floating-point literals — quantize or
+               compare with an explicit tolerance
+  include-cc   no #include of a .cc file
+  cout         no std::cout outside src/harness (libraries report through
+               common/logging.hh; stdout belongs to the CLI layer)
+  header-self  every header must compile on its own (include-what-you-see
+               spot build with -fsyntax-only)
+
+Suppressions:
+  - inline: "pargpu-lint: allow(<rule>)" in a comment on the offending
+    line or the line directly above it
+  - file-level: an entry "<rule> <repo-relative-path>" in the allowlist
+    file (tools/lint_allowlist.txt), '#' comments allowed
+
+Exit status is non-zero when any violation remains, so the CTest entry
+and scripts/check.sh can gate on it.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+RULES = ("rand", "raw-new", "float-eq", "include-cc", "cout", "header-self")
+
+FLOAT_LIT = r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)f?"
+
+RE_RAND = re.compile(r"(?:std\s*::\s*)?\b(?:rand|srand)\s*\(")
+RE_NEW = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<]|\[)")
+RE_DELETE = re.compile(r"\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*]")
+RE_DELETED_FN = re.compile(r"=\s*delete\b")
+RE_FLOAT_EQ = re.compile(
+    r"[=!]=\s*[-+]?" + FLOAT_LIT + r"|" + FLOAT_LIT + r"\s*[=!]=")
+RE_INCLUDE_CC = re.compile(r'#\s*include\s*["<][^">]*\.cc[">]')
+RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
+RE_ALLOW = re.compile(r"pargpu-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+SOURCE_EXTS = (".cc", ".hh", ".h", ".cpp")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay valid."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def load_allowlist(path):
+    allow = set()  # (rule, repo-relative path)
+    if not os.path.exists(path):
+        return allow
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2 or parts[0] not in RULES:
+                print(f"lint: malformed allowlist entry: {raw.rstrip()}",
+                      file=sys.stderr)
+                sys.exit(2)
+            allow.add((parts[0], parts[1]))
+    return allow
+
+
+def inline_allows(raw_line):
+    m = RE_ALLOW.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def check_file(root, rel, allow, violations):
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8") as f:
+        raw_text = f.read()
+    raw_lines = raw_text.splitlines()
+    code_lines = strip_comments_and_strings(raw_text).splitlines()
+
+    in_harness = rel.replace(os.sep, "/").startswith("src/harness/")
+
+    # Most rules match against comment/string-stripped code so prose and
+    # literals can't trip them; include-cc must see the raw line because
+    # the include path *is* a string.
+    line_rules = [
+        ("rand", RE_RAND, False,
+         "use the deterministic RNG in common/rng.hh"),
+        ("raw-new", RE_NEW, False, "raw new; use containers or make_unique"),
+        ("raw-new", RE_DELETE, False,
+         "raw delete; use containers or make_unique"),
+        ("float-eq", RE_FLOAT_EQ, False,
+         "float literal ==/!=; compare with a tolerance"),
+        ("include-cc", RE_INCLUDE_CC, True, "#include of a .cc file"),
+    ]
+    if not in_harness:
+        line_rules.append(
+            ("cout", RE_COUT, False, "std::cout outside harness/CLI layers"))
+
+    for lineno, code in enumerate(code_lines, start=1):
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+        allowed_here = inline_allows(raw) | inline_allows(prev)
+        for rule, regex, use_raw, msg in line_rules:
+            if (rule, rel) in allow or rule in allowed_here:
+                continue
+            m = regex.search(raw if use_raw else code)
+            if not m:
+                continue
+            if rule == "raw-new" and regex is RE_DELETE and \
+                    RE_DELETED_FN.search(code):
+                continue
+            violations.append((rel, lineno, rule, msg))
+
+
+def check_header_selfcontained(root, rel, compiler, std, allow, violations):
+    if ("header-self", rel) in allow:
+        return
+    snippet = f'#include "{rel.replace(os.sep, "/").removeprefix("src/")}"\n'
+    cmd = [compiler, f"-std={std}", "-fsyntax-only", "-x", "c++",
+           "-I", os.path.join(root, "src"), "-"]
+    proc = subprocess.run(cmd, input=snippet, capture_output=True,
+                          text=True, cwd=root)
+    if proc.returncode != 0:
+        first = proc.stderr.strip().splitlines()
+        detail = first[0] if first else "compile failed"
+        violations.append(
+            (rel, 1, "header-self", f"not self-contained: {detail}"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/lint_allowlist.txt)")
+    ap.add_argument("--compiler", default=os.environ.get("CXX", "c++"),
+                    help="C++ compiler for header spot builds")
+    ap.add_argument("--std", default="c++20", help="language standard")
+    ap.add_argument("--no-spot-builds", action="store_true",
+                    help="skip the header self-containment builds")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    allowlist_path = args.allowlist or os.path.join(
+        root, "tools", "lint_allowlist.txt")
+    allow = load_allowlist(allowlist_path)
+
+    sources = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTS):
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                sources.append(rel.replace(os.sep, "/"))
+    sources.sort()
+    if not sources:
+        print("lint: no sources found under src/", file=sys.stderr)
+        return 2
+
+    violations = []
+    for rel in sources:
+        check_file(root, rel, allow, violations)
+
+    if not args.no_spot_builds:
+        headers = [s for s in sources if s.endswith((".hh", ".h"))]
+        for rel in headers:
+            check_header_selfcontained(root, rel, args.compiler, args.std,
+                                       allow, violations)
+
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    checked = len(sources)
+    if violations:
+        print(f"lint: {len(violations)} violation(s) in {checked} files")
+        return 1
+    print(f"lint: OK ({checked} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
