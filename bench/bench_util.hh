@@ -15,9 +15,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "harness/metrics.hh"
 #include "harness/runner.hh"
 
 namespace pargpu::bench
@@ -83,6 +85,39 @@ banner(const char *fig, const char *title)
                 numFrames());
     std::printf("================================================="
                 "=====================\n");
+}
+
+/**
+ * Export one run as a metrics document when PARGPU_METRICS_DIR is set
+ * (no-op otherwise). The file is named
+ * <dir>/<tool>_<workload>_<scenario>.json so sweeps don't collide, and
+ * uses the same schema as `pargpu_harness --metrics-json`
+ * (docs/METRICS.md) — so any two bench runs can be diffed with
+ * tools/pargpu_report.py.
+ *
+ * @param mssim  Quality vs. a reference run, or < 0 if not measured.
+ */
+inline void
+maybeWriteMetrics(const char *tool, const Workload &w,
+                  const RunConfig &config, const RunResult &run,
+                  double mssim = -1.0)
+{
+    const char *dir = std::getenv("PARGPU_METRICS_DIR");
+    if (!dir || !dir[0])
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best-effort
+    RunMetadata meta;
+    meta.tool = tool;
+    meta.workload = w.label;
+    meta.width = w.trace.width;
+    meta.height = w.trace.height;
+    meta.frames = static_cast<int>(w.trace.cameras.size());
+    std::string path = std::string(dir) + "/" + tool + "_" + w.label +
+        "_" + scenarioMetricName(config.scenario) + ".json";
+    if (!writeMetricsJson(path, meta, config, run, mssim))
+        std::fprintf(stderr, "bench: cannot write metrics to %s\n",
+                     path.c_str());
 }
 
 /** Geometric mean of a list of ratios. */

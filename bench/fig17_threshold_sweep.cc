@@ -46,6 +46,7 @@ main()
         }
         std::vector<RunResult> runs = runSweep(w.trace, configs);
         const RunResult &base = runs[0];
+        maybeWriteMetrics("fig17", w, configs[0], base);
 
         std::vector<double> speeds, quals;
         for (int i = 0; i < steps; ++i) {

@@ -40,12 +40,14 @@ main()
         }
         std::vector<RunResult> runs = runSweep(w.trace, configs);
         const RunResult &base = runs[0];
+        maybeWriteMetrics("fig19", w, configs[0], base);
 
         std::printf("%-16s", w.label.c_str());
         for (int s = 0; s < 3; ++s) {
             const RunResult &r = runs[s + 1];
             double speedup = base.avg_cycles / r.avg_cycles;
             double q = r.mssimAgainst(base.images);
+            maybeWriteMetrics("fig19", w, configs[s + 1], r, q);
             speedups[s].push_back(speedup);
             mssims[s].push_back(q);
             std::printf(" | %9.3fx %7.3f", speedup, q);

@@ -33,6 +33,7 @@ main()
         base_cfg.scenario = DesignScenario::Baseline;
         base_cfg.keep_images = false;
         RunResult base = runTrace(w.trace, base_cfg);
+        maybeWriteMetrics("fig20", w, base_cfg, base);
 
         double norm[3], patu_power = 0.0;
         for (int s = 0; s < 3; ++s) {
@@ -40,6 +41,7 @@ main()
             cfg.scenario = scenarios[s];
             cfg.threshold = 0.4f;
             RunResult r = runTrace(w.trace, cfg);
+            maybeWriteMetrics("fig20", w, cfg, r);
             norm[s] = r.total_energy_nj / base.total_energy_nj;
             savings[s].push_back(1.0 - norm[s]);
             if (scenarios[s] == DesignScenario::Patu)

@@ -56,6 +56,7 @@ main()
         }
         std::vector<RunResult> runs = runSweep(w.trace, sweep);
         const RunResult &base = runs[0];
+        maybeWriteMetrics("fig21", w, base_cfg, base);
         for (std::size_t i = 0; i < nc; ++i) {
             plain[i].push_back(base.avg_cycles / runs[1 + 2 * i].avg_cycles);
             patu[i].push_back(base.avg_cycles / runs[2 + 2 * i].avg_cycles);

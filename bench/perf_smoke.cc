@@ -113,5 +113,14 @@ main()
     std::fclose(f);
     std::printf("wrote BENCH_parallel.json\n");
 
+    // Also export the serial run in the standard metrics schema when
+    // PARGPU_METRICS_DIR is set, so perf_smoke results feed
+    // tools/pargpu_report.py like every other producer.
+    Workload w;
+    w.label = "HL2-" + std::to_string(trace.width) + "x" +
+        std::to_string(trace.height);
+    w.trace = std::move(trace);
+    maybeWriteMetrics("perf_smoke", w, serial_cfg, serial);
+
     return identical ? 0 : 1;
 }

@@ -7,8 +7,9 @@
 #   2. AddressSanitizer build, full ctest
 #   3. UndefinedBehaviorSanitizer build (no-recover), full ctest
 #   4. ThreadSanitizer build, threading-focused ctest subset
-#   5. pargpu-lint standalone (includes header self-containment builds)
-#   6. clang-tidy over src/ (skipped with a note when not installed)
+#   5. -DPARGPU_TRACING=OFF build (macros compiled out), tracing subset
+#   6. pargpu-lint standalone (includes header self-containment builds)
+#   7. clang-tidy over src/ (skipped with a note when not installed)
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -41,19 +42,19 @@ configure_build_test() {
     ctest --test-dir "$dir" "${ctest_args[@]}"
 }
 
-stage "1/6 Release + contracts + -Werror"
+stage "1/7 Release + contracts + -Werror"
 configure_build_test build-check \
     -DCMAKE_BUILD_TYPE=Release -DPARGPU_CHECKS=ON -DPARGPU_WERROR=ON
 
-stage "2/6 AddressSanitizer"
+stage "2/7 AddressSanitizer"
 configure_build_test build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_ASAN=ON -DPARGPU_CHECKS=ON
 
-stage "3/6 UndefinedBehaviorSanitizer"
+stage "3/7 UndefinedBehaviorSanitizer"
 configure_build_test build-ubsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_UBSAN=ON -DPARGPU_CHECKS=ON
 
-stage "4/6 ThreadSanitizer (threading subset)"
+stage "4/7 ThreadSanitizer (threading subset)"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_TSAN=ON \
     >build-tsan.configure.log 2>&1 || { cat build-tsan.configure.log >&2; exit 1; }
@@ -61,10 +62,19 @@ cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test"
 
-stage "5/6 pargpu-lint"
+stage "5/7 tracing compiled out (-DPARGPU_TRACING=OFF)"
+cmake -B build-notrace -S . \
+    -DCMAKE_BUILD_TYPE=Release -DPARGPU_TRACING=OFF \
+    >build-notrace.configure.log 2>&1 || { cat build-notrace.configure.log >&2; exit 1; }
+cmake --build build-notrace -j "$JOBS" \
+    --target tracing_test determinism_test pargpu_harness
+ctest --test-dir build-notrace --output-on-failure -j "$JOBS" \
+    -R "tracing_test|determinism_test"
+
+stage "6/7 pargpu-lint"
 python3 tools/pargpu_lint.py --root "$ROOT"
 
-stage "6/6 clang-tidy"
+stage "7/7 clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         >/dev/null

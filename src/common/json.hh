@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal JSON value type with a writer and a strict parser.
+ *
+ * Backs the observability layer: the metrics exporter and the stats
+ * registry serialize through Json::dump(), and tests round-trip emitted
+ * files through Json::parse() to validate structure (chrome-trace events,
+ * metrics schema). Numbers are stored as doubles, which is exact for the
+ * integer counters the simulator produces up to 2^53 — far beyond any
+ * realistic run.
+ */
+
+#ifndef PARGPU_COMMON_JSON_HH
+#define PARGPU_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pargpu
+{
+
+/**
+ * A JSON value: null, bool, number, string, array or object.
+ *
+ * Objects keep their members sorted by key (std::map), so dumps are
+ * deterministic regardless of insertion order.
+ */
+class Json
+{
+  public:
+    /** The JSON value kinds. */
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), num_(n) {}
+    Json(std::int64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    Json(std::uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    Json(int n) : type_(Type::Number), num_(n) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** An empty array value. */
+    static Json array();
+    /** An empty object value. */
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isBool() const { return type_ == Type::Bool; }
+
+    /** Numeric value (0.0 unless isNumber()). */
+    double number() const { return num_; }
+    /** Boolean value (false unless isBool()). */
+    bool boolean() const { return bool_; }
+    /** String value (empty unless isString()). */
+    const std::string &str() const { return str_; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<Json> &items() const { return arr_; }
+    /** Object members (empty unless isObject()). */
+    const std::map<std::string, Json> &members() const { return obj_; }
+
+    /** Append @p v to an array (converts a null value to an array). */
+    void push(Json v);
+
+    /** Set object member @p key (converts a null value to an object). */
+    void set(const std::string &key, Json v);
+
+    /** True if this object has member @p key. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Member lookup; returns a shared null value when absent or when this
+     * is not an object, so lookups chain without exceptions.
+     */
+    const Json &operator[](const std::string &key) const;
+
+    /** Element lookup; shared null value when out of range. */
+    const Json &operator[](std::size_t i) const;
+
+    /**
+     * Serialize. @p indent < 0 gives the compact single-line form;
+     * otherwise members/elements are newline-separated with @p indent
+     * spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse @p text as a single JSON document.
+     *
+     * On failure returns a null value and, when @p error is non-null,
+     * stores a short description with the byte offset. Trailing
+     * non-whitespace after the document is an error.
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::map<std::string, Json> obj_;
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_COMMON_JSON_HH

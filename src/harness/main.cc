@@ -1,0 +1,246 @@
+/**
+ * @file
+ * pargpu_harness: the observability-first simulator driver. Renders any
+ * game workload under any design scenario and exports the run as a
+ * versioned metrics document (JSON/CSV, see docs/METRICS.md) and an
+ * optional chrome://tracing profile.
+ *
+ * Usage:
+ *   pargpu_harness [--game hl2|doom3|grid|nfs|stal|ut3|wolf|rbench]
+ *                  [--scenario baseline|noaf|n|ntxds|patu]
+ *                  [--threshold T] [--width W] [--height H] [--frames N]
+ *                  [--tc-scale S] [--llc-scale S] [--max-aniso A]
+ *                  [--table-entries E] [--threads N]
+ *                  [--reference baseline|noaf|n|ntxds|patu]
+ *                  [--metrics-json FILE] [--metrics-csv FILE]
+ *                  [--trace-out FILE] [--quiet]
+ *
+ * --reference renders a second run under the given scenario and reports
+ * MSSIM of the primary run against it (the paper's quality axis).
+ * --trace-out enables the runtime trace collector around the run and
+ * writes a JSON trace loadable in chrome://tracing / Perfetto.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/threadpool.hh"
+#include "common/tracing.hh"
+#include "harness/metrics.hh"
+#include "harness/runner.hh"
+
+using namespace pargpu;
+
+namespace
+{
+
+struct Options
+{
+    GameId game = GameId::HL2;
+    RunConfig run;
+    int width = 640;
+    int height = 512;
+    int frames = 2;
+    bool quiet = false;
+    bool have_reference = false;
+    DesignScenario reference = DesignScenario::Baseline;
+    std::string metrics_json;
+    std::string metrics_csv;
+    std::string trace_out;
+};
+
+GameId
+parseGame(const std::string &v)
+{
+    if (v == "hl2") return GameId::HL2;
+    if (v == "doom3") return GameId::Doom3;
+    if (v == "grid") return GameId::Grid;
+    if (v == "nfs") return GameId::Nfs;
+    if (v == "stal") return GameId::Stalker;
+    if (v == "ut3") return GameId::Ut3;
+    if (v == "wolf") return GameId::Wolf;
+    if (v == "rbench") return GameId::RBench;
+    std::fprintf(stderr, "unknown game '%s'\n", v.c_str());
+    std::exit(2);
+}
+
+DesignScenario
+parseScenario(const std::string &v)
+{
+    if (v == "baseline") return DesignScenario::Baseline;
+    if (v == "noaf") return DesignScenario::NoAF;
+    if (v == "n") return DesignScenario::AfSsimN;
+    if (v == "ntxds") return DesignScenario::AfSsimNTxds;
+    if (v == "patu") return DesignScenario::Patu;
+    std::fprintf(stderr, "unknown scenario '%s'\n", v.c_str());
+    std::exit(2);
+}
+
+void
+usage()
+{
+    std::printf(
+        "pargpu_harness: render a workload and export structured "
+        "metrics\n"
+        "  --game hl2|doom3|grid|nfs|stal|ut3|wolf|rbench   workload\n"
+        "  --scenario baseline|noaf|n|ntxds|patu            design\n"
+        "  --threshold T     unified AF-SSIM threshold (default 0.4)\n"
+        "  --width W --height H --frames N                  viewport\n"
+        "  --tc-scale S --llc-scale S                       cache scaling\n"
+        "  --max-aniso A --table-entries E                  PATU knobs\n"
+        "  --threads N       frame-level parallelism (0 = default)\n"
+        "  --reference SCEN  also render SCEN, report MSSIM against it\n"
+        "  --metrics-json F  write the metrics document (schema v%d)\n"
+        "  --metrics-csv F   write per-frame stats as CSV\n"
+        "  --trace-out F     write a chrome://tracing JSON profile\n"
+        "  --quiet           suppress the human-readable summary\n"
+        "See docs/METRICS.md for the schema and every metric name.\n",
+        kMetricsSchemaVersion);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto need = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--game") {
+            o.game = parseGame(need("--game"));
+        } else if (a == "--scenario") {
+            o.run.scenario = parseScenario(need("--scenario"));
+        } else if (a == "--threshold") {
+            o.run.threshold =
+                static_cast<float>(std::atof(need("--threshold").c_str()));
+        } else if (a == "--width") {
+            o.width = std::atoi(need("--width").c_str());
+        } else if (a == "--height") {
+            o.height = std::atoi(need("--height").c_str());
+        } else if (a == "--frames") {
+            o.frames = std::atoi(need("--frames").c_str());
+        } else if (a == "--tc-scale") {
+            o.run.tc_scale =
+                static_cast<unsigned>(std::atoi(need("--tc-scale").c_str()));
+        } else if (a == "--llc-scale") {
+            o.run.llc_scale = static_cast<unsigned>(
+                std::atoi(need("--llc-scale").c_str()));
+        } else if (a == "--max-aniso") {
+            o.run.max_aniso = std::atoi(need("--max-aniso").c_str());
+        } else if (a == "--table-entries") {
+            o.run.table_entries =
+                std::atoi(need("--table-entries").c_str());
+        } else if (a == "--threads") {
+            o.run.threads = std::atoi(need("--threads").c_str());
+            if (o.run.threads > 0)
+                ThreadPool::setDefaultThreads(
+                    static_cast<unsigned>(o.run.threads));
+        } else if (a == "--reference") {
+            o.have_reference = true;
+            o.reference = parseScenario(need("--reference"));
+        } else if (a == "--metrics-json") {
+            o.metrics_json = need("--metrics-json");
+        } else if (a == "--metrics-csv") {
+            o.metrics_csv = need("--metrics-csv");
+        } else if (a == "--trace-out") {
+            o.trace_out = need("--trace-out");
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            std::exit(2);
+        }
+    }
+    if (o.width <= 0 || o.height <= 0 || o.frames <= 0) {
+        std::fprintf(stderr, "viewport and frame count must be positive\n");
+        std::exit(2);
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+
+    // The quality axis needs rendered images on both sides.
+    o.run.keep_images = o.have_reference;
+
+    GameTrace trace = buildGameTrace(o.game, o.width, o.height, o.frames);
+
+    if (!o.trace_out.empty())
+        trace::Tracing::enable();
+
+    RunResult run = runTrace(trace, o.run);
+
+    double mssim = -1.0;
+    if (o.have_reference) {
+        RunConfig ref_cfg = o.run;
+        ref_cfg.scenario = o.reference;
+        RunResult ref = runTrace(trace, ref_cfg);
+        mssim = run.mssimAgainst(ref.images);
+    }
+
+    if (!o.trace_out.empty()) {
+        trace::Tracing::disable();
+        if (!trace::Tracing::writeFile(o.trace_out)) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         o.trace_out.c_str());
+            return 1;
+        }
+    }
+
+    RunMetadata meta;
+    meta.tool = "pargpu_harness";
+    meta.workload = trace.name;
+    meta.width = o.width;
+    meta.height = o.height;
+    meta.frames = o.frames;
+
+    if (!o.metrics_json.empty() &&
+        !writeMetricsJson(o.metrics_json, meta, o.run, run, mssim)) {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     o.metrics_json.c_str());
+        return 1;
+    }
+    if (!o.metrics_csv.empty() &&
+        !writeMetricsCsv(o.metrics_csv, meta, o.run, run)) {
+        std::fprintf(stderr, "cannot write metrics CSV to %s\n",
+                     o.metrics_csv.c_str());
+        return 1;
+    }
+
+    if (!o.quiet) {
+        std::printf("workload   : %s (%d frames)\n", trace.name.c_str(),
+                    o.frames);
+        std::printf("scenario   : %s, threshold %.2f\n",
+                    scenarioMetricName(o.run.scenario), o.run.threshold);
+        std::printf("avg cycles : %.0f (%.2f fps @1GHz)\n", run.avg_cycles,
+                    run.avg_cycles > 0.0 ? 1e9 / run.avg_cycles : 0.0);
+        std::printf("energy     : %.3f mJ (%.2f W avg)\n",
+                    run.total_energy_nj * 1e-6, run.avg_power_w);
+        if (mssim >= 0.0)
+            std::printf("mssim      : %.4f (vs %s)\n", mssim,
+                        scenarioMetricName(o.reference));
+        if (!o.metrics_json.empty())
+            std::printf("metrics    : %s\n", o.metrics_json.c_str());
+        if (!o.metrics_csv.empty())
+            std::printf("csv        : %s\n", o.metrics_csv.c_str());
+        if (!o.trace_out.empty())
+            std::printf("trace      : %s (%zu events)\n",
+                        o.trace_out.c_str(),
+                        trace::Tracing::eventCount());
+    }
+    return 0;
+}

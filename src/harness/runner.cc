@@ -7,6 +7,7 @@
 #include "common/contract.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
+#include "common/tracing.hh"
 
 namespace pargpu
 {
@@ -84,25 +85,31 @@ runTrace(const GameTrace &trace, const RunConfig &config)
     // its simulator previously rendered other frames (serial path) or is
     // freshly built for a partition (parallel path); determinism_test
     // pins this down.
+    PARGPU_TRACE_SCOPE_F("harness", "runTrace", n);
     std::vector<FrameOutput> outs(n);
     if (parts <= 1 || ThreadPool::inWorker()) {
         GpuSimulator sim(makeGpuConfig(config));
-        for (std::size_t f = 0; f < n; ++f)
+        for (std::size_t f = 0; f < n; ++f) {
+            PARGPU_TRACE_SCOPE_F("harness", "renderFrame", f);
             outs[f] = sim.renderFrame(trace.scene, trace.cameras[f],
                                       trace.width, trace.height);
+        }
     } else {
         ThreadPool::run(parts, 1, [&](std::size_t p) {
             const std::size_t lo = n * p / parts;
             const std::size_t hi = n * (p + 1) / parts;
             GpuSimulator sim(makeGpuConfig(config));
-            for (std::size_t f = lo; f < hi; ++f)
+            for (std::size_t f = lo; f < hi; ++f) {
+                PARGPU_TRACE_SCOPE_F("harness", "renderFrame", f);
                 outs[f] = sim.renderFrame(trace.scene, trace.cameras[f],
                                           trace.width, trace.height);
+            }
         }, static_cast<unsigned>(parts));
     }
 
     // Aggregate serially in frame order — the identical sequence of
     // floating-point additions as the serial path.
+    PARGPU_TRACE_SCOPE("harness", "aggregate");
     RunResult result;
     result.frames.reserve(n);
     if (config.keep_images)

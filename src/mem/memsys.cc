@@ -109,6 +109,17 @@ MemorySystem::exportStats(StatRegistry &stats,
               trafficBytes(TrafficClass::ColorDepth));
     stats.inc(prefix + ".traffic.geometry",
               trafficBytes(TrafficClass::Geometry));
+
+    auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+        std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits)
+                                / static_cast<double>(total);
+    };
+    stats.set(prefix + ".tex_l1.hit_rate", rate(l1_hits, l1_misses));
+    stats.set(prefix + ".llc.hit_rate", rate(llc_->hits(), llc_->misses()));
+    stats.set(prefix + ".dram.row_hit_rate",
+              rate(dram_->rowHits(), dram_->reads() - dram_->rowHits()));
 }
 
 } // namespace pargpu

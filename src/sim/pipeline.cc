@@ -5,6 +5,7 @@
 
 #include "common/contract.hh"
 #include "common/logging.hh"
+#include "common/tracing.hh"
 #include "sim/framebuffer.hh"
 #include "sim/raster.hh"
 
@@ -45,6 +46,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
     if (width <= 0 || height <= 0)
         fatal("renderFrame: viewport must be positive");
 
+    PARGPU_TRACE_SCOPE("sim", "frame");
     mem_->reset();
     for (auto &tu : tus_)
         tu->resetStats();
@@ -90,10 +92,16 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
 
     Addr vertex_addr = AddressMap::kVertexBase;
 
+    std::uint32_t draw_index = 0;
     for (const DrawCall &draw : scene.draws) {
+        PARGPU_TRACE_SCOPE_F("sim", "draw", draw_index);
+        ++draw_index;
         const Mesh &mesh = draw.mesh;
         const TextureMap &tex = *scene.textures[mesh.texture_id];
         const Mat4 mvp = camera.proj * camera.view * draw.model;
+
+        {
+        PARGPU_TRACE_SCOPE("sim", "geometry");
 
         // --- Vertex processing ------------------------------------------
         // Fetch vertex data (geometry traffic) and charge shader time.
@@ -141,8 +149,10 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                     bins[static_cast<std::size_t>(ty) * tiles_x + tx]
                         .push_back(ti);
         }
+        } // geometry span
 
         // --- Fragment phase ----------------------------------------------
+        PARGPU_TRACE_SCOPE("sim", "fragment");
         for (int ty = 0; ty < tiles_y; ++ty) {
             for (int tx = 0; tx < tiles_x; ++tx) {
                 const auto &bin =
@@ -182,8 +192,11 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                                     continue;
                                 int px = q.x + (i & 1);
                                 int py = q.y + (i >> 1);
+                                ++fs.earlyz_tested;
                                 if (fb.depthTest(px, py, q.depth[i]))
                                     surv |= 1u << i;
+                                else
+                                    ++fs.earlyz_killed;
                             }
                             cc += config_.raster_quad_cycles;
                             if (surv == 0)
@@ -299,6 +312,14 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                      " > ", fs.dram_reads);
     PARGPU_INVARIANT(fs.total_cycles >= fs.fragment_cycles,
                      "total cycles below the fragment phase");
+
+    // Memory-system activity of this frame, as chrome-trace counter
+    // tracks (no effect on the simulation; see common/tracing.hh).
+    PARGPU_TRACE_COUNTER("mem", "dram.bytes", fs.totalTraffic());
+    PARGPU_TRACE_COUNTER("mem", "dram.reads", fs.dram_reads);
+    PARGPU_TRACE_COUNTER("mem", "l1.misses", fs.l1_misses);
+    PARGPU_TRACE_COUNTER("mem", "llc.misses", fs.llc_misses);
+    PARGPU_TRACE_COUNTER("sim", "frame.cycles", fs.total_cycles);
 
     FrameOutput out;
     out.image = fb.color();

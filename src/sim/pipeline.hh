@@ -43,6 +43,8 @@ struct FrameStats
     // --- Work ----------------------------------------------------------
     std::uint64_t triangles_in = 0;    ///< Submitted triangles.
     std::uint64_t triangles_setup = 0; ///< Survived clip/cull.
+    std::uint64_t earlyz_tested = 0;   ///< Covered pixels depth-tested.
+    std::uint64_t earlyz_killed = 0;   ///< ... rejected by early-Z.
     std::uint64_t quads = 0;
     std::uint64_t pixels_shaded = 0;
     std::uint64_t trilinear_samples = 0;

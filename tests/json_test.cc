@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the minimal JSON value type (common/json.hh): construction,
+ * deterministic dumping, and the strict parser (round-trips, escapes,
+ * error reporting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/json.hh"
+
+using namespace pargpu;
+
+TEST(JsonTest, ScalarConstruction)
+{
+    EXPECT_TRUE(Json{}.isNull());
+    EXPECT_TRUE(Json{true}.isBool());
+    EXPECT_TRUE(Json{1.5}.isNumber());
+    EXPECT_TRUE(Json{"hi"}.isString());
+    EXPECT_DOUBLE_EQ(Json{std::uint64_t{42}}.number(), 42.0);
+    EXPECT_EQ(Json{"hi"}.str(), "hi");
+}
+
+TEST(JsonTest, DumpCompactObjectIsSortedByKey)
+{
+    Json o = Json::object();
+    o.set("zeta", Json{1});
+    o.set("alpha", Json{2});
+    EXPECT_EQ(o.dump(), R"({"alpha":2,"zeta":1})");
+}
+
+TEST(JsonTest, IntegersDumpWithoutFraction)
+{
+    EXPECT_EQ(Json{std::uint64_t{9007199254740992ull}}.dump(),
+              "9007199254740992");
+    EXPECT_EQ(Json{123456789}.dump(), "123456789");
+    EXPECT_EQ(Json{0.5}.dump(), "0.5");
+}
+
+TEST(JsonTest, NonFiniteNumbersDumpAsNull)
+{
+    EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(), "null");
+    EXPECT_EQ(Json{std::numeric_limits<double>::quiet_NaN()}.dump(),
+              "null");
+}
+
+TEST(JsonTest, StringEscapesRoundTrip)
+{
+    Json s{"line\n\"quote\"\tand\\slash"};
+    std::string error;
+    Json back = Json::parse(s.dump(), &error);
+    ASSERT_TRUE(back.isString()) << error;
+    EXPECT_EQ(back.str(), s.str());
+}
+
+TEST(JsonTest, ParseDocumentAndChainLookups)
+{
+    std::string error;
+    Json doc = Json::parse(
+        R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}})", &error);
+    ASSERT_TRUE(doc.isObject()) << error;
+    EXPECT_DOUBLE_EQ(doc["a"][0].number(), 1.0);
+    EXPECT_DOUBLE_EQ(doc["a"][1].number(), 2.5);
+    EXPECT_EQ(doc["a"][2].str(), "x");
+    EXPECT_TRUE(doc["b"]["c"].boolean());
+    EXPECT_TRUE(doc["b"]["d"].isNull());
+    // Absent keys and out-of-range indices chain to null, not UB.
+    EXPECT_TRUE(doc["missing"]["deep"][9].isNull());
+}
+
+TEST(JsonTest, ParseUnicodeEscape)
+{
+    std::string error;
+    Json v = Json::parse("\"a\\u0041b\"", &error);
+    ASSERT_TRUE(v.isString()) << error;
+    EXPECT_EQ(v.str(), "aAb");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_TRUE(Json::parse("{", &error).isNull());
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(Json::parse("[1,]", &error).isNull());
+    EXPECT_TRUE(Json::parse("tru", &error).isNull());
+    EXPECT_TRUE(Json::parse("", &error).isNull());
+    // Trailing garbage after a valid document is an error.
+    EXPECT_TRUE(Json::parse("{} x", &error).isNull());
+}
+
+TEST(JsonTest, DumpParseRoundTripNested)
+{
+    Json root = Json::object();
+    Json arr = Json::array();
+    for (int i = 0; i < 3; ++i) {
+        Json e = Json::object();
+        e.set("i", Json{i});
+        e.set("sq", Json{i * i});
+        arr.push(std::move(e));
+    }
+    root.set("rows", std::move(arr));
+    root.set("ok", Json{true});
+
+    for (int indent : {-1, 0, 2}) {
+        std::string error;
+        Json back = Json::parse(root.dump(indent), &error);
+        ASSERT_TRUE(back.isObject()) << error;
+        EXPECT_EQ(back.dump(), root.dump());
+    }
+}

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 
 using namespace pargpu;
@@ -61,4 +64,129 @@ TEST(StatRegistryTest, DumpIsSortedByName)
     ASSERT_NE(pos_a, std::string::npos);
     ASSERT_NE(pos_z, std::string::npos);
     EXPECT_LT(pos_a, pos_z);
+}
+
+TEST(HistogramTest, SummaryOfKnownSamples)
+{
+    Histogram h;
+    for (int v = 1; v <= 100; ++v)
+        h.observe(static_cast<double>(v));
+    HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_DOUBLE_EQ(s.p50, 50.0); // Nearest-rank over 1..100.
+    EXPECT_DOUBLE_EQ(s.p95, 95.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(HistogramTest, EmptySummaryIsAllZero)
+{
+    HistogramSummary s = Histogram{}.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.sum, 0.0);
+    EXPECT_DOUBLE_EQ(s.min, 0.0);
+    EXPECT_DOUBLE_EQ(s.max, 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsItsOwnQuantiles)
+{
+    Histogram h;
+    h.observe(7.5);
+    HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.p50, 7.5);
+    EXPECT_DOUBLE_EQ(s.p95, 7.5);
+}
+
+TEST(StatRegistryTest, HistogramsObserveAndSummarize)
+{
+    StatRegistry s;
+    s.observe("frame.time", 10.0);
+    s.observe("frame.time", 30.0);
+    s.observe("frame.time", 20.0);
+    HistogramSummary h = s.histogram("frame.time");
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(h.min, 10.0);
+    EXPECT_DOUBLE_EQ(h.max, 30.0);
+    EXPECT_DOUBLE_EQ(h.p50, 20.0);
+    EXPECT_EQ(s.histogram("never.observed").count, 0u);
+}
+
+TEST(StatRegistryTest, SnapshotIsDetachedCopy)
+{
+    StatRegistry s;
+    s.inc("c", 3);
+    s.set("v", 1.5);
+    s.observe("h", 2.0);
+    StatSnapshot snap = s.snapshot();
+    s.inc("c", 100);
+    EXPECT_EQ(snap.counters.at("c"), 3u);
+    EXPECT_DOUBLE_EQ(snap.scalars.at("v"), 1.5);
+    EXPECT_EQ(snap.histograms.at("h").count, 1u);
+}
+
+TEST(StatRegistryTest, SnapshotJsonRoundTrips)
+{
+    StatRegistry s;
+    s.inc("mem.dram.reads", 42);
+    s.set("mem.l1.hit_rate", 0.75);
+    s.observe("frame.cycles", 100.0);
+    s.observe("frame.cycles", 200.0);
+
+    Json j = s.snapshot().toJson();
+    std::string error;
+    Json reparsed = Json::parse(j.dump(2), &error);
+    ASSERT_TRUE(reparsed.isObject()) << error;
+
+    StatSnapshot back = StatSnapshot::fromJson(reparsed);
+    EXPECT_EQ(back.counters.at("mem.dram.reads"), 42u);
+    EXPECT_DOUBLE_EQ(back.scalars.at("mem.l1.hit_rate"), 0.75);
+    const HistogramSummary &h = back.histograms.at("frame.cycles");
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_DOUBLE_EQ(h.sum, 300.0);
+    EXPECT_DOUBLE_EQ(h.min, 100.0);
+    EXPECT_DOUBLE_EQ(h.max, 200.0);
+}
+
+TEST(StatRegistryTest, DumpTreeGroupsByDottedSegments)
+{
+    StatRegistry s;
+    s.inc("mem.dram.reads", 42);
+    s.inc("mem.dram.row_hits", 7);
+    s.inc("sim.frames", 3);
+    std::ostringstream os;
+    s.dumpTree(os);
+    std::string out = os.str();
+    // Parent segments appear once, leaves are indented beneath them.
+    EXPECT_NE(out.find("mem"), std::string::npos);
+    EXPECT_NE(out.find("dram"), std::string::npos);
+    EXPECT_NE(out.find("reads 42"), std::string::npos);
+    EXPECT_NE(out.find("row_hits 7"), std::string::npos);
+    EXPECT_NE(out.find("frames 3"), std::string::npos);
+    EXPECT_EQ(out.find("mem.dram"), std::string::npos);
+}
+
+TEST(StatRegistryTest, ConcurrentIncrementsDoNotLoseUpdates)
+{
+    StatRegistry s;
+    constexpr int kThreads = 4;
+    constexpr int kIters = 5000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&s] {
+            for (int i = 0; i < kIters; ++i) {
+                s.inc("shared.counter");
+                s.observe("shared.hist", 1.0);
+            }
+        });
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(s.counter("shared.counter"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(s.histogram("shared.hist").count,
+              static_cast<std::uint64_t>(kThreads) * kIters);
 }

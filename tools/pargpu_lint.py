@@ -15,6 +15,11 @@ clang-tidy covers out of the box:
                common/logging.hh; stdout belongs to the CLI layer)
   header-self  every header must compile on its own (include-what-you-see
                spot build with -fsyntax-only)
+  file-doc     every public header under src/ must open with an @file
+               doc comment (Doxygen's per-file brief)
+  metrics-doc  every stat name registered in code (a dotted "a.b.c"
+               string literal passed to .inc()/.set()/.observe()) must be
+               documented in docs/METRICS.md
 
 Suppressions:
   - inline: "pargpu-lint: allow(<rule>)" in a comment on the offending
@@ -32,7 +37,8 @@ import re
 import subprocess
 import sys
 
-RULES = ("rand", "raw-new", "float-eq", "include-cc", "cout", "header-self")
+RULES = ("rand", "raw-new", "float-eq", "include-cc", "cout", "header-self",
+         "file-doc", "metrics-doc")
 
 FLOAT_LIT = r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)f?"
 
@@ -45,6 +51,10 @@ RE_FLOAT_EQ = re.compile(
 RE_INCLUDE_CC = re.compile(r'#\s*include\s*["<][^">]*\.cc[">]')
 RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
 RE_ALLOW = re.compile(r"pargpu-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+RE_STAT_CALL = re.compile(r"\.\s*(?:inc|set|observe)\s*\(")
+# Dotted stat-name literals: absolute ("mem.dram.reads") or relative to a
+# runtime prefix (".tex_l1.hits", as in prefix + ".tex_l1.hits").
+RE_STAT_NAME = re.compile(r'"(\.?[a-z0-9_]+(?:\.[a-z0-9_]+)+)"')
 
 SOURCE_EXTS = (".cc", ".hh", ".h", ".cpp")
 
@@ -132,7 +142,7 @@ def inline_allows(raw_line):
     return {r.strip() for r in m.group(1).split(",")}
 
 
-def check_file(root, rel, allow, violations):
+def check_file(root, rel, allow, violations, metrics_doc):
     path = os.path.join(root, rel)
     with open(path, encoding="utf-8") as f:
         raw_text = f.read()
@@ -140,6 +150,13 @@ def check_file(root, rel, allow, violations):
     code_lines = strip_comments_and_strings(raw_text).splitlines()
 
     in_harness = rel.replace(os.sep, "/").startswith("src/harness/")
+
+    if rel.endswith((".hh", ".h")) and ("file-doc", rel) not in allow:
+        head = "\n".join(raw_lines[:20])
+        if "@file" not in head and not inline_allows(head):
+            violations.append(
+                (rel, 1, "file-doc",
+                 "header lacks an @file doc comment in its first 20 lines"))
 
     # Most rules match against comment/string-stripped code so prose and
     # literals can't trip them; include-cc must see the raw line because
@@ -172,6 +189,30 @@ def check_file(root, rel, allow, violations):
                     RE_DELETED_FN.search(code):
                 continue
             violations.append((rel, lineno, rule, msg))
+
+        # metrics-doc: a stat registration (".inc(" / ".set(" / ".observe(")
+        # with a dotted string literal must have that name documented in
+        # docs/METRICS.md. The literal may sit on the call line or, for
+        # wrapped calls, on the following line. A leading '.' marks a name
+        # relative to a runtime prefix (prefix + ".llc.hits").
+        if ("metrics-doc", rel) not in allow and \
+                "metrics-doc" not in allowed_here and \
+                RE_STAT_CALL.search(code):
+            search = raw
+            if not RE_STAT_NAME.search(raw) and lineno < len(raw_lines):
+                search += "\n" + raw_lines[lineno]
+            for name in RE_STAT_NAME.findall(search):
+                bare = name.lstrip(".")
+                if metrics_doc is None:
+                    violations.append(
+                        (rel, lineno, "metrics-doc",
+                         f'stat "{bare}" registered but docs/METRICS.md '
+                         "does not exist"))
+                elif bare not in metrics_doc:
+                    violations.append(
+                        (rel, lineno, "metrics-doc",
+                         f'stat "{bare}" not documented in '
+                         "docs/METRICS.md"))
 
 
 def check_header_selfcontained(root, rel, compiler, std, allow, violations):
@@ -219,9 +260,15 @@ def main():
         print("lint: no sources found under src/", file=sys.stderr)
         return 2
 
+    metrics_doc = None
+    metrics_path = os.path.join(root, "docs", "METRICS.md")
+    if os.path.exists(metrics_path):
+        with open(metrics_path, encoding="utf-8") as f:
+            metrics_doc = f.read()
+
     violations = []
     for rel in sources:
-        check_file(root, rel, allow, violations)
+        check_file(root, rel, allow, violations, metrics_doc)
 
     if not args.no_spot_builds:
         headers = [s for s in sources if s.endswith((".hh", ".h"))]

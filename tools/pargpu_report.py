@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Compare two pargpu metrics documents (see docs/METRICS.md).
+
+Loads two metrics JSONs produced by `pargpu_harness --metrics-json` (or by
+any bench via PARGPU_METRICS_DIR), prints a regression/speedup table for
+the headline metrics — cycles, DRAM traffic, texel fetches, MSSIM, energy,
+power — and, with --fail-on-regress PCT, exits non-zero when any metric
+moved in its bad direction by more than PCT percent. That mode is wired as
+a CTest gate (see tests/CMakeLists.txt) and is meant for CI: compare a
+candidate run against a stored baseline and fail the build on regressions.
+
+Usage:
+  pargpu_report.py BASELINE.json CANDIDATE.json [--fail-on-regress PCT]
+                   [--all-counters]
+
+Exit status: 0 ok, 1 regression beyond the threshold, 2 usage/schema
+errors.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "pargpu-metrics"
+SUPPORTED_VERSIONS = (1,)
+
+# (label, path, getter kind, better) — better is "lower" or "higher".
+# Paths into the document: "aggregate.x" or "registry.counters.x" /
+# "registry.scalars.x".
+HEADLINE = [
+    ("avg cycles/frame", "aggregate.avg_cycles", "lower"),
+    ("total energy (nJ)", "aggregate.total_energy_nj", "lower"),
+    ("avg power (W)", "aggregate.avg_power_w", "lower"),
+    ("MSSIM", "aggregate.mssim", "higher"),
+    ("DRAM traffic (B)", "registry.counters.mem.traffic.total_bytes",
+     "lower"),
+    ("DRAM reads", "registry.counters.mem.dram.reads", "lower"),
+    ("texel fetches", "registry.counters.texunit.texels", "lower"),
+    ("trilinear samples", "registry.counters.texunit.trilinear_samples",
+     "lower"),
+    ("L1 hit rate", "registry.scalars.mem.l1.hit_rate", "higher"),
+    ("frame cycles p95", "registry.histograms.frame.cycles.p95", "lower"),
+]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"pargpu_report: cannot load {path}: {e}")
+    if doc.get("schema") != SCHEMA_NAME:
+        sys.exit(f"pargpu_report: {path} is not a {SCHEMA_NAME} document")
+    if doc.get("schema_version") not in SUPPORTED_VERSIONS:
+        sys.exit(f"pargpu_report: {path} has unsupported schema_version "
+                 f"{doc.get('schema_version')} (supported: "
+                 f"{SUPPORTED_VERSIONS})")
+    return doc
+
+
+def lookup(doc, path):
+    """Resolve a metric path; dotted metric names live as single keys
+    inside the registry sections, so descend section-wise first."""
+    if path.startswith("aggregate."):
+        return doc.get("aggregate", {}).get(path[len("aggregate."):])
+    if path.startswith("registry.counters."):
+        return doc.get("registry", {}).get("counters", {}).get(
+            path[len("registry.counters."):])
+    if path.startswith("registry.scalars."):
+        return doc.get("registry", {}).get("scalars", {}).get(
+            path[len("registry.scalars."):])
+    if path.startswith("registry.histograms."):
+        # registry.histograms.<name>.<field> — field is the last segment.
+        rest = path[len("registry.histograms."):]
+        name, _, field = rest.rpartition(".")
+        h = doc.get("registry", {}).get("histograms", {}).get(name)
+        return None if h is None else h.get(field)
+    return None
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if abs(v) >= 1e6 or (v != 0 and abs(v) < 1e-3):
+        return f"{v:.4g}"
+    if float(v).is_integer():
+        return f"{int(v)}"
+    return f"{v:.4f}"
+
+
+def compare(base, cand, rows):
+    """Yield (label, a, b, delta_pct_or_None, verdict, regressed_pct)."""
+    for label, path, better in rows:
+        a = lookup(base, path)
+        b = lookup(cand, path)
+        if a is None or b is None:
+            yield label, a, b, None, "missing", 0.0
+            continue
+        if a == 0:
+            delta = 0.0 if b == 0 else float("inf")
+        else:
+            delta = (b - a) / abs(a) * 100.0
+        bad = delta > 0 if better == "lower" else delta < 0
+        regressed = abs(delta) if bad else 0.0
+        if delta == 0:
+            verdict = "same"
+        elif bad:
+            verdict = "worse"
+        else:
+            verdict = "better"
+        yield label, a, b, delta, verdict, regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline metrics JSON")
+    ap.add_argument("candidate", help="candidate metrics JSON")
+    ap.add_argument("--fail-on-regress", type=float, metavar="PCT",
+                    default=None,
+                    help="exit 1 if any metric regresses by more than PCT "
+                         "percent")
+    ap.add_argument("--all-counters", action="store_true",
+                    help="also diff every registry counter present in "
+                         "both documents")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    def run_of(doc):
+        r = doc.get("run", {})
+        return (f"{r.get('workload', '?')} scenario={r.get('scenario', '?')}"
+                f" threshold={r.get('threshold', '?')}")
+
+    print(f"baseline : {args.baseline}  ({run_of(base)})")
+    print(f"candidate: {args.candidate}  ({run_of(cand)})")
+    print()
+
+    rows = list(HEADLINE)
+    if args.all_counters:
+        shared = sorted(
+            set(base.get("registry", {}).get("counters", {}))
+            & set(cand.get("registry", {}).get("counters", {})))
+        rows += [(name, f"registry.counters.{name}", "lower")
+                 for name in shared]
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'delta':>9}  verdict")
+    worst = 0.0
+    worst_label = None
+    for label, a, b, delta, verdict, regressed in compare(base, cand, rows):
+        d = "-" if delta is None else f"{delta:+8.2f}%"
+        print(f"{label:<{width}}  {fmt(a):>14}  {fmt(b):>14}  {d:>9}  "
+              f"{verdict}")
+        if regressed > worst:
+            worst = regressed
+            worst_label = label
+
+    print()
+    if args.fail_on_regress is not None and worst > args.fail_on_regress:
+        print(f"FAIL: '{worst_label}' regressed {worst:.2f}% "
+              f"(> {args.fail_on_regress}%)")
+        return 1
+    if worst > 0:
+        print(f"worst regression: {worst:.2f}% ({worst_label})")
+    else:
+        print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
