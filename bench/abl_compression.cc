@@ -7,8 +7,8 @@
  */
 
 #include "bench_util.hh"
-#include "common/threadpool.hh"
-#include "scenes/meshes.hh"
+#include "pargpu/threading.hh"
+#include "pargpu/scenes.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;

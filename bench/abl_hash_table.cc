@@ -11,7 +11,7 @@
 #include <iterator>
 
 #include "bench_util.hh"
-#include "core/overhead.hh"
+#include "pargpu/analysis.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;

@@ -8,8 +8,8 @@
  */
 
 #include "bench_util.hh"
-#include "common/threadpool.hh"
-#include "sim/stereo.hh"
+#include "pargpu/threading.hh"
+#include "pargpu/sim.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;

@@ -19,8 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "harness/metrics.hh"
-#include "harness/runner.hh"
+#include "pargpu/metrics.hh"
+#include "pargpu/config.hh"
 
 namespace pargpu::bench
 {

@@ -7,7 +7,7 @@
  */
 
 #include "bench_util.hh"
-#include "replay/replay.hh"
+#include "pargpu/replay.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;

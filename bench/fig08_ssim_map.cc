@@ -7,7 +7,7 @@
  */
 
 #include "bench_util.hh"
-#include "quality/ssim.hh"
+#include "pargpu/quality.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;

@@ -8,8 +8,7 @@
  */
 
 #include "bench_util.hh"
-#include "replay/replay.hh"
-#include "replay/userstudy.hh"
+#include "pargpu/replay.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;

@@ -6,13 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/afssim.hh"
-#include "core/hashtable.hh"
-#include "common/rng.hh"
-#include "mem/cache.hh"
-#include "quality/ssim.hh"
-#include "texture/procedural.hh"
-#include "texture/sampler.hh"
+#include "pargpu/analysis.hh"
+#include "pargpu/random.hh"
+#include "pargpu/mem.hh"
+#include "pargpu/quality.hh"
+#include "pargpu/texture.hh"
 
 using namespace pargpu;
 

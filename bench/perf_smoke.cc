@@ -1,13 +1,26 @@
 /**
  * @file
- * Perf smoke test for the parallel execution engine: times runTrace() at
- * 1 thread and at N threads on a fixed workload, checks the results are
- * bit-identical, and writes BENCH_parallel.json so the simulation
- * throughput (frames/sec) and parallel speedup are tracked across PRs.
+ * Perf smoke test, two sections:
+ *
+ * 1. Parallel engine — times runTrace() at 1 thread and at N threads on
+ *    a fixed workload, checks the results are bit-identical, and writes
+ *    BENCH_parallel.json (simulation throughput + parallel speedup).
+ *
+ * 2. Texel hot path — times the texel-bound scenario (baseline 16xAF:
+ *    every texel fetched, no PATU approximation) single-threaded and
+ *    writes BENCH_texel.json with the wall-clock speedup against the
+ *    recorded pre-rework reference (kTexelSeedSecPerFrame, measured in
+ *    the same container before the Morton-storage/memo/batching rework).
+ *    Also reports the new hot-path counters (memo hit rate, distinct
+ *    lines per quad).
+ *
+ * With PARGPU_METRICS_DIR set, both sections additionally export the
+ * standard metrics document; scripts/check.sh gates the texel export
+ * against bench/baselines/ via tools/pargpu_report.py.
  *
  * Environment:
  *   PARGPU_THREADS   parallel thread count (default: hardware cores)
- *   PARGPU_FRAMES    frames in the timed trace (default: 8 here)
+ *   PARGPU_FRAMES    frames in the timed traces (default: 8 here)
  */
 
 #include <chrono>
@@ -15,7 +28,7 @@
 #include <thread>
 
 #include "bench_util.hh"
-#include "common/threadpool.hh"
+#include "pargpu/threading.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;
@@ -121,6 +134,88 @@ main()
         std::to_string(trace.height);
     w.trace = std::move(trace);
     maybeWriteMetrics("perf_smoke", w, serial_cfg, serial);
+
+    // ---- Section 2: texel hot path -----------------------------------
+    // Baseline 16xAF is the texel-bound extreme: every pixel runs full
+    // anisotropic filtering, so wall-clock is dominated by footprint
+    // fetches and cache-model traffic. Single-threaded on a fixed
+    // 640x512 viewport so the number is comparable across machines of
+    // different core counts and across PRs.
+    banner("Perf smoke: texel hot path",
+           "baseline 16xAF 640x512, 1 thread, vs pre-rework reference");
+
+    // Wall-clock per frame of this workload before the texel-hot-path
+    // rework (linear-only storage, per-texel cache probes, heap-based
+    // sample buffers), measured in the CI container. Informational
+    // yardstick: simulated metrics are gated by pargpu_report.py
+    // instead, because wall-clock depends on the machine.
+    constexpr double kTexelSeedSecPerFrame = 2.73 / 4.0;
+
+    GameTrace texel_trace =
+        buildGameTrace(GameId::HL2, 640, 512, frames);
+    RunConfig texel_cfg;
+    texel_cfg.scenario = DesignScenario::Baseline;
+    texel_cfg.keep_images = false;
+    texel_cfg.threads = 1;
+
+    runTrace(texel_trace, texel_cfg); // Warm-up outside the timed region.
+    auto t3 = std::chrono::steady_clock::now();
+    RunResult texel = runTrace(texel_trace, texel_cfg);
+    auto t4 = std::chrono::steady_clock::now();
+
+    const double x_sec = seconds(t3, t4);
+    const double x_fps = frames / x_sec;
+    const double sec_per_frame = x_sec / frames;
+    const double speedup_vs_seed = kTexelSeedSecPerFrame / sec_per_frame;
+
+    const double quads = sumOver(texel.frames, &FrameStats::quads);
+    const double lines = sumOver(texel.frames, &FrameStats::tex_lines);
+    const double lookups =
+        sumOver(texel.frames, &FrameStats::memo_lookups);
+    const double hits = sumOver(texel.frames, &FrameStats::memo_hits);
+    const double lines_per_quad = quads > 0.0 ? lines / quads : 0.0;
+    const double memo_hit_rate = lookups > 0.0 ? hits / lookups : 0.0;
+
+    std::printf("%d frames at 640x512 (scenario baseline, 1 thread)\n",
+                frames);
+    std::printf("  wall     : %7.2f s  (%6.3f frames/s)\n", x_sec, x_fps);
+    std::printf("  vs seed  : %.2fx   (seed %.3f s/frame, this run %.3f)\n",
+                speedup_vs_seed, kTexelSeedSecPerFrame, sec_per_frame);
+    std::printf("  hot path : %.3f memo hit rate, %.2f lines/quad\n",
+                memo_hit_rate, lines_per_quad);
+
+    f = std::fopen("BENCH_texel.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_texel.json\n");
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"perf_smoke_texel\",\n"
+                 "  \"workload\": \"hl2\",\n"
+                 "  \"scenario\": \"baseline\",\n"
+                 "  \"frames\": %d,\n"
+                 "  \"width\": 640,\n"
+                 "  \"height\": 512,\n"
+                 "  \"threads\": 1,\n"
+                 "  \"seconds\": %.6f,\n"
+                 "  \"frames_per_sec\": %.6f,\n"
+                 "  \"seconds_per_frame\": %.6f,\n"
+                 "  \"seed_seconds_per_frame\": %.6f,\n"
+                 "  \"speedup_vs_seed\": %.6f,\n"
+                 "  \"memo_hit_rate\": %.6f,\n"
+                 "  \"lines_per_quad\": %.6f\n"
+                 "}\n",
+                 frames, x_sec, x_fps, sec_per_frame,
+                 kTexelSeedSecPerFrame, speedup_vs_seed, memo_hit_rate,
+                 lines_per_quad);
+    std::fclose(f);
+    std::printf("wrote BENCH_texel.json\n");
+
+    Workload tw;
+    tw.label = "HL2-640x512";
+    tw.trace = std::move(texel_trace);
+    maybeWriteMetrics("perf_texel", tw, texel_cfg, texel);
 
     return identical ? 0 : 1;
 }

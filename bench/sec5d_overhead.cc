@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/overhead.hh"
+#include "pargpu/analysis.hh"
 
 using namespace pargpu;
 

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "sim/config.hh"
+#include "pargpu/config.hh"
 
 using namespace pargpu;
 

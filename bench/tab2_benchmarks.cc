@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "scenes/scenes.hh"
+#include "pargpu/scenes.hh"
 
 using namespace pargpu;
 

@@ -7,7 +7,7 @@
  */
 
 #include "bench_util.hh"
-#include "sim/raster.hh"
+#include "pargpu/sim.hh"
 
 using namespace pargpu;
 using namespace pargpu::bench;

@@ -12,10 +12,9 @@
 #include <cstdlib>
 #include <string>
 
-#include "harness/runner.hh"
-#include "replay/replay.hh"
-#include "replay/userstudy.hh"
-#include "trace/trace.hh"
+#include "pargpu/config.hh"
+#include "pargpu/replay.hh"
+#include "pargpu/trace.hh"
 
 using namespace pargpu;
 

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "harness/runner.hh"
+#include "pargpu/config.hh"
 
 using namespace pargpu;
 

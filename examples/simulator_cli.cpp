@@ -20,10 +20,10 @@
 #include <cstring>
 #include <string>
 
-#include "common/threadpool.hh"
-#include "harness/runner.hh"
-#include "power/energy.hh"
-#include "sim/stereo.hh"
+#include "pargpu/threading.hh"
+#include "pargpu/config.hh"
+#include "pargpu/power.hh"
+#include "pargpu/sim.hh"
 
 using namespace pargpu;
 

@@ -11,8 +11,8 @@
 
 #include <cstdio>
 
-#include "harness/runner.hh"
-#include "quality/ssim.hh"
+#include "pargpu/config.hh"
+#include "pargpu/quality.hh"
 
 using namespace pargpu;
 

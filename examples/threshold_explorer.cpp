@@ -13,7 +13,7 @@
 #include <cstring>
 #include <string>
 
-#include "harness/runner.hh"
+#include "pargpu/config.hh"
 
 using namespace pargpu;
 

@@ -10,6 +10,8 @@
 #   5. -DPARGPU_TRACING=OFF build (macros compiled out), tracing subset
 #   6. pargpu-lint standalone (includes header self-containment builds)
 #   7. clang-tidy over src/ (skipped with a note when not installed)
+#   8. perf gate: perf_smoke's texel-bound export diffed against the
+#      committed baseline (bench/baselines/) with --fail-on-regress
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -42,19 +44,19 @@ configure_build_test() {
     ctest --test-dir "$dir" "${ctest_args[@]}"
 }
 
-stage "1/7 Release + contracts + -Werror"
+stage "1/8 Release + contracts + -Werror"
 configure_build_test build-check \
     -DCMAKE_BUILD_TYPE=Release -DPARGPU_CHECKS=ON -DPARGPU_WERROR=ON
 
-stage "2/7 AddressSanitizer"
+stage "2/8 AddressSanitizer"
 configure_build_test build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_ASAN=ON -DPARGPU_CHECKS=ON
 
-stage "3/7 UndefinedBehaviorSanitizer"
+stage "3/8 UndefinedBehaviorSanitizer"
 configure_build_test build-ubsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_UBSAN=ON -DPARGPU_CHECKS=ON
 
-stage "4/7 ThreadSanitizer (threading subset)"
+stage "4/8 ThreadSanitizer (threading subset)"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_TSAN=ON \
     >build-tsan.configure.log 2>&1 || { cat build-tsan.configure.log >&2; exit 1; }
@@ -62,7 +64,7 @@ cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test"
 
-stage "5/7 tracing compiled out (-DPARGPU_TRACING=OFF)"
+stage "5/8 tracing compiled out (-DPARGPU_TRACING=OFF)"
 cmake -B build-notrace -S . \
     -DCMAKE_BUILD_TYPE=Release -DPARGPU_TRACING=OFF \
     >build-notrace.configure.log 2>&1 || { cat build-notrace.configure.log >&2; exit 1; }
@@ -71,10 +73,10 @@ cmake --build build-notrace -j "$JOBS" \
 ctest --test-dir build-notrace --output-on-failure -j "$JOBS" \
     -R "tracing_test|determinism_test"
 
-stage "6/7 pargpu-lint"
+stage "6/8 pargpu-lint"
 python3 tools/pargpu_lint.py --root "$ROOT"
 
-stage "7/7 clang-tidy"
+stage "7/8 clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         >/dev/null
@@ -83,5 +85,21 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
     echo "clang-tidy not installed; skipping (config committed in .clang-tidy)"
 fi
+
+stage "8/8 perf gate (texel hot path vs committed baseline)"
+# Plain Release (contracts off) so wall-clock resembles production; the
+# gate itself is on the *simulated* metrics, which are deterministic —
+# wall-clock speedup in BENCH_texel.json is informational.
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release \
+    >build-perf.configure.log 2>&1 || { cat build-perf.configure.log >&2; exit 1; }
+cmake --build build-perf -j "$JOBS" --target perf_smoke
+PERF_METRICS="$ROOT/build-perf/perf-metrics"
+mkdir -p "$PERF_METRICS"
+( cd build-perf && PARGPU_FRAMES=2 PARGPU_METRICS_DIR="$PERF_METRICS" \
+    ./bench/perf_smoke )
+python3 tools/pargpu_report.py \
+    bench/baselines/perf_texel_HL2-640x512_baseline.json \
+    "$PERF_METRICS/perf_texel_HL2-640x512_baseline.json" \
+    --fail-on-regress 0.01
 
 stage "all stages passed"

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bump-pointer arena for hot-path scratch allocations.
+ *
+ * The texture unit materializes up to 64 trilinear samples per quad; going
+ * through the heap for those (the seed's vector-per-pixel FilterResult) costs
+ * more than the filtering math itself. A BumpArena hands out monotonically
+ * increasing slices of a few large blocks and recycles everything with an
+ * O(1) reset() per quad. Arenas are owned per worker (one per TextureUnit),
+ * so no locking is needed.
+ *
+ * Only trivially destructible element types are supported: reset() never
+ * runs destructors.
+ */
+
+#ifndef PARGPU_COMMON_ARENA_HH
+#define PARGPU_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/contract.hh"
+
+namespace pargpu
+{
+
+/** A growable bump allocator; see the file comment. */
+class BumpArena
+{
+  public:
+    /** @param block_bytes  Granularity of the backing blocks. */
+    explicit BumpArena(std::size_t block_bytes = 64 * 1024)
+        : block_bytes_(block_bytes)
+    {
+        PARGPU_ASSERT(block_bytes_ >= 1024,
+                      "arena block too small: ", block_bytes_);
+    }
+
+    /**
+     * Allocate a default-constructed span of @p n elements. The span is
+     * valid until the next reset().
+     */
+    template <typename T>
+    std::span<T>
+    allocSpan(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena reset() never runs destructors");
+        if (n == 0)
+            return {};
+        T *p = static_cast<T *>(allocBytes(n * sizeof(T), alignof(T)));
+        for (std::size_t i = 0; i < n; ++i)
+            new (p + i) T(); // pargpu-lint: allow(raw-new)
+        return {p, n};
+    }
+
+    /** Recycle every allocation; keeps the backing blocks for reuse. */
+    void
+    reset()
+    {
+        cur_block_ = 0;
+        offset_ = 0;
+    }
+
+    /** Bytes of backing storage currently reserved. */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const Block &b : blocks_)
+            total += b.size;
+        return total;
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    void *
+    allocBytes(std::size_t bytes, std::size_t align)
+    {
+        PARGPU_ASSERT((align & (align - 1)) == 0,
+                      "alignment must be a power of two: ", align);
+        while (true) {
+            if (cur_block_ < blocks_.size()) {
+                Block &b = blocks_[cur_block_];
+                std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+                if (aligned + bytes <= b.size) {
+                    offset_ = aligned + bytes;
+                    return b.data.get() + aligned;
+                }
+                // Block exhausted: move on (leftover bytes are recycled at
+                // the next reset()).
+                ++cur_block_;
+                offset_ = 0;
+                continue;
+            }
+            std::size_t size = std::max(block_bytes_, bytes + align);
+            blocks_.push_back(
+                {std::make_unique<std::byte[]>(size), size});
+        }
+    }
+
+    std::size_t block_bytes_;
+    std::vector<Block> blocks_;
+    std::size_t cur_block_ = 0; ///< Block currently bumped into.
+    std::size_t offset_ = 0;    ///< Bump offset within the current block.
+};
+
+} // namespace pargpu
+
+#endif // PARGPU_COMMON_ARENA_HH

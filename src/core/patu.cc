@@ -115,7 +115,7 @@ PatuUnit::preDecide(const AnisotropyInfo &info)
 
 void
 PatuUnit::finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
-                             const std::vector<TrilinearSample> &samples)
+                             std::span<const TrilinearSample> samples)
 {
     d.need_distribution = false;
 
@@ -155,7 +155,7 @@ PatuUnit::finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
 }
 
 int
-PatuUnit::countSharedSamples(const std::vector<TrilinearSample> &samples)
+PatuUnit::countSharedSamples(std::span<const TrilinearSample> samples)
 {
     TexelAddressTable t;
     int shared = 0;

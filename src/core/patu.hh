@@ -22,8 +22,8 @@
 #define PARGPU_CORE_PATU_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "common/stats.hh"
 #include "core/hashtable.hh"
@@ -116,7 +116,7 @@ class PatuUnit
      * @param samples  The N AF trilinear samples (address sets filled in).
      */
     void finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
-                            const std::vector<TrilinearSample> &samples);
+                            std::span<const TrilinearSample> samples);
 
     /**
      * Measurement helper for the Fig. 12 statistic: count how many of the
@@ -125,7 +125,7 @@ class PatuUnit
      *
      * @return Number of shared (non-first-occurrence) samples.
      */
-    int countSharedSamples(const std::vector<TrilinearSample> &samples);
+    int countSharedSamples(std::span<const TrilinearSample> samples);
 
     /** Decision statistics accumulated since construction. */
     const StatRegistry &stats() const { return stats_; }

@@ -5,18 +5,30 @@
  * versioned metrics document (JSON/CSV, see docs/METRICS.md) and an
  * optional chrome://tracing profile.
  *
+ * Flags come in three families (see docs/REPRODUCING.md for the full
+ * mapping):
+ *   --run-*      the experimental condition (workload, scenario, knobs)
+ *   --metrics-*  structured metric exports
+ *   --trace-*    chrome://tracing profile capture
+ *
  * Usage:
- *   pargpu_harness [--game hl2|doom3|grid|nfs|stal|ut3|wolf|rbench]
- *                  [--scenario baseline|noaf|n|ntxds|patu]
- *                  [--threshold T] [--width W] [--height H] [--frames N]
- *                  [--tc-scale S] [--llc-scale S] [--max-aniso A]
- *                  [--table-entries E] [--threads N]
- *                  [--reference baseline|noaf|n|ntxds|patu]
+ *   pargpu_harness [--run-game hl2|doom3|grid|nfs|stal|ut3|wolf|rbench]
+ *                  [--run-scenario baseline|noaf|n|ntxds|patu]
+ *                  [--run-threshold T] [--run-width W] [--run-height H]
+ *                  [--run-frames N] [--run-tc-scale S] [--run-llc-scale S]
+ *                  [--run-max-aniso A] [--run-table-entries E]
+ *                  [--run-threads N]
+ *                  [--run-reference baseline|noaf|n|ntxds|patu]
  *                  [--metrics-json FILE] [--metrics-csv FILE]
  *                  [--trace-out FILE] [--quiet]
  *
- * --reference renders a second run under the given scenario and reports
- * MSSIM of the primary run against it (the paper's quality axis).
+ * The pre-family spellings (--game, --scenario, --threshold, --width,
+ * --height, --frames, --tc-scale, --llc-scale, --max-aniso,
+ * --table-entries, --threads, --reference) still work as deprecated
+ * aliases; each use prints a one-line warning on stderr.
+ *
+ * --run-reference renders a second run under the given scenario and
+ * reports MSSIM of the primary run against it (the paper's quality axis).
  * --trace-out enables the runtime trace collector around the run and
  * writes a JSON trace loadable in chrome://tracing / Perfetto.
  */
@@ -83,20 +95,60 @@ usage()
     std::printf(
         "pargpu_harness: render a workload and export structured "
         "metrics\n"
-        "  --game hl2|doom3|grid|nfs|stal|ut3|wolf|rbench   workload\n"
-        "  --scenario baseline|noaf|n|ntxds|patu            design\n"
-        "  --threshold T     unified AF-SSIM threshold (default 0.4)\n"
-        "  --width W --height H --frames N                  viewport\n"
-        "  --tc-scale S --llc-scale S                       cache scaling\n"
-        "  --max-aniso A --table-entries E                  PATU knobs\n"
-        "  --threads N       frame-level parallelism (0 = default)\n"
-        "  --reference SCEN  also render SCEN, report MSSIM against it\n"
-        "  --metrics-json F  write the metrics document (schema v%d)\n"
-        "  --metrics-csv F   write per-frame stats as CSV\n"
-        "  --trace-out F     write a chrome://tracing JSON profile\n"
-        "  --quiet           suppress the human-readable summary\n"
+        "run condition:\n"
+        "  --run-game hl2|doom3|grid|nfs|stal|ut3|wolf|rbench\n"
+        "  --run-scenario baseline|noaf|n|ntxds|patu\n"
+        "  --run-threshold T   unified AF-SSIM threshold (default 0.4)\n"
+        "  --run-width W --run-height H --run-frames N      viewport\n"
+        "  --run-tc-scale S --run-llc-scale S               cache scaling\n"
+        "  --run-max-aniso A --run-table-entries E          PATU knobs\n"
+        "  --run-threads N     frame-level parallelism (0 = default)\n"
+        "  --run-reference S   also render S, report MSSIM against it\n"
+        "exports:\n"
+        "  --metrics-json F    write the metrics document (schema v%d)\n"
+        "  --metrics-csv F     write per-frame stats as CSV\n"
+        "  --trace-out F       write a chrome://tracing JSON profile\n"
+        "  --quiet             suppress the human-readable summary\n"
+        "Unprefixed spellings of the run flags (--game, --scenario, ...)\n"
+        "are deprecated aliases; see docs/REPRODUCING.md.\n"
         "See docs/METRICS.md for the schema and every metric name.\n",
         kMetricsSchemaVersion);
+}
+
+/**
+ * Map a deprecated pre-family spelling to its canonical --run-* form,
+ * warning once per spelling; canonical and unknown flags pass through.
+ */
+std::string
+canonicalFlag(const std::string &flag)
+{
+    static const struct
+    {
+        const char *old_name;
+        const char *new_name;
+    } kAliases[] = {
+        {"--game", "--run-game"},
+        {"--scenario", "--run-scenario"},
+        {"--threshold", "--run-threshold"},
+        {"--width", "--run-width"},
+        {"--height", "--run-height"},
+        {"--frames", "--run-frames"},
+        {"--tc-scale", "--run-tc-scale"},
+        {"--llc-scale", "--run-llc-scale"},
+        {"--max-aniso", "--run-max-aniso"},
+        {"--table-entries", "--run-table-entries"},
+        {"--threads", "--run-threads"},
+        {"--reference", "--run-reference"},
+    };
+    for (const auto &alias : kAliases) {
+        if (flag == alias.old_name) {
+            std::fprintf(stderr,
+                         "pargpu_harness: '%s' is deprecated, use '%s'\n",
+                         alias.old_name, alias.new_name);
+            return alias.new_name;
+        }
+    }
+    return flag;
 }
 
 Options
@@ -104,7 +156,7 @@ parseArgs(int argc, char **argv)
 {
     Options o;
     for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
+        std::string a = canonicalFlag(argv[i]);
         auto need = [&](const char *flag) -> std::string {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", flag);
@@ -112,38 +164,35 @@ parseArgs(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (a == "--game") {
-            o.game = parseGame(need("--game"));
-        } else if (a == "--scenario") {
-            o.run.scenario = parseScenario(need("--scenario"));
-        } else if (a == "--threshold") {
-            o.run.threshold =
-                static_cast<float>(std::atof(need("--threshold").c_str()));
-        } else if (a == "--width") {
-            o.width = std::atoi(need("--width").c_str());
-        } else if (a == "--height") {
-            o.height = std::atoi(need("--height").c_str());
-        } else if (a == "--frames") {
-            o.frames = std::atoi(need("--frames").c_str());
-        } else if (a == "--tc-scale") {
-            o.run.tc_scale =
-                static_cast<unsigned>(std::atoi(need("--tc-scale").c_str()));
-        } else if (a == "--llc-scale") {
+        if (a == "--run-game") {
+            o.game = parseGame(need("--run-game"));
+        } else if (a == "--run-scenario") {
+            o.run.scenario = parseScenario(need("--run-scenario"));
+        } else if (a == "--run-threshold") {
+            o.run.threshold = static_cast<float>(
+                std::atof(need("--run-threshold").c_str()));
+        } else if (a == "--run-width") {
+            o.width = std::atoi(need("--run-width").c_str());
+        } else if (a == "--run-height") {
+            o.height = std::atoi(need("--run-height").c_str());
+        } else if (a == "--run-frames") {
+            o.frames = std::atoi(need("--run-frames").c_str());
+        } else if (a == "--run-tc-scale") {
+            o.run.tc_scale = static_cast<unsigned>(
+                std::atoi(need("--run-tc-scale").c_str()));
+        } else if (a == "--run-llc-scale") {
             o.run.llc_scale = static_cast<unsigned>(
-                std::atoi(need("--llc-scale").c_str()));
-        } else if (a == "--max-aniso") {
-            o.run.max_aniso = std::atoi(need("--max-aniso").c_str());
-        } else if (a == "--table-entries") {
+                std::atoi(need("--run-llc-scale").c_str()));
+        } else if (a == "--run-max-aniso") {
+            o.run.max_aniso = std::atoi(need("--run-max-aniso").c_str());
+        } else if (a == "--run-table-entries") {
             o.run.table_entries =
-                std::atoi(need("--table-entries").c_str());
-        } else if (a == "--threads") {
-            o.run.threads = std::atoi(need("--threads").c_str());
-            if (o.run.threads > 0)
-                ThreadPool::setDefaultThreads(
-                    static_cast<unsigned>(o.run.threads));
-        } else if (a == "--reference") {
+                std::atoi(need("--run-table-entries").c_str());
+        } else if (a == "--run-threads") {
+            o.run.threads = std::atoi(need("--run-threads").c_str());
+        } else if (a == "--run-reference") {
             o.have_reference = true;
-            o.reference = parseScenario(need("--reference"));
+            o.reference = parseScenario(need("--run-reference"));
         } else if (a == "--metrics-json") {
             o.metrics_json = need("--metrics-json");
         } else if (a == "--metrics-csv") {
@@ -164,6 +213,19 @@ parseArgs(int argc, char **argv)
         std::fprintf(stderr, "viewport and frame count must be positive\n");
         std::exit(2);
     }
+    // Typed validation instead of the old behavior (silent acceptance,
+    // then a crash or clamp deep inside the run). Report every violation,
+    // not just the first — the CLI is interactive.
+    const std::vector<ConfigError> errors = o.run.validate();
+    if (!errors.empty()) {
+        for (ConfigError e : errors)
+            std::fprintf(stderr, "invalid option: %s\n",
+                         configErrorMessage(e));
+        std::exit(2);
+    }
+    if (o.run.threads > 0)
+        ThreadPool::setDefaultThreads(
+            static_cast<unsigned>(o.run.threads));
     return o;
 }
 

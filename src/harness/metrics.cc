@@ -44,6 +44,9 @@ constexpr FrameField kFrameFields[] = {
     {"addr_ops", [](const FrameStats &f) { return f.addr_ops; }},
     {"table_accesses",
      [](const FrameStats &f) { return f.table_accesses; }},
+    {"tex_lines", [](const FrameStats &f) { return f.tex_lines; }},
+    {"memo_lookups", [](const FrameStats &f) { return f.memo_lookups; }},
+    {"memo_hits", [](const FrameStats &f) { return f.memo_hits; }},
     {"af_candidate_pixels",
      [](const FrameStats &f) { return f.af_candidate_pixels; }},
     {"approx_stage1", [](const FrameStats &f) { return f.approx_stage1; }},
@@ -114,6 +117,9 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
         t.texels += f.texels;
         t.addr_ops += f.addr_ops;
         t.table_accesses += f.table_accesses;
+        t.tex_lines += f.tex_lines;
+        t.memo_lookups += f.memo_lookups;
+        t.memo_hits += f.memo_hits;
         t.af_candidate_pixels += f.af_candidate_pixels;
         t.approx_stage1 += f.approx_stage1;
         t.approx_stage2 += f.approx_stage2;
@@ -156,6 +162,15 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
     reg.inc("texunit.trilinear_samples", t.trilinear_samples);
     reg.inc("texunit.texels", t.texels);
     reg.inc("texunit.addr_ops", t.addr_ops);
+    reg.inc("texunit.lines", t.tex_lines);
+    reg.set("texunit.lines_per_quad", ratio(t.tex_lines, t.quads));
+    reg.inc("texunit.memo_lookups", t.memo_lookups);
+    reg.inc("texunit.memo_hits", t.memo_hits);
+    reg.set("texunit.memo_hit_rate", ratio(t.memo_hits, t.memo_lookups));
+    // Host-side texel storage in effect for this process (1 = Morton).
+    reg.set("texture.morton_storage",
+            TextureMap::defaultStorage() == TexelStorage::Morton ? 1.0
+                                                                 : 0.0);
 
     // PATU prediction.
     reg.inc("patu.table_accesses", t.table_accesses);

@@ -34,7 +34,52 @@ armContractReport()
     (void)armed;
 }
 
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
 } // namespace
+
+const char *
+configErrorMessage(ConfigError error)
+{
+    switch (error) {
+    case ConfigError::BadThreshold:
+        return "threshold must be in [0, 1]";
+    case ConfigError::BadTcScale:
+        return "tc-scale must be a power of two >= 1";
+    case ConfigError::BadLlcScale:
+        return "llc-scale must be a power of two >= 1";
+    case ConfigError::BadMaxAniso:
+        return "max-aniso must be in [1, 64]";
+    case ConfigError::BadTableEntries:
+        return "table-entries must be in [0, 4096] (0 = default)";
+    case ConfigError::BadThreads:
+        return "threads must be in [0, 4096] (0 = default)";
+    }
+    return "invalid RunConfig";
+}
+
+std::vector<ConfigError>
+RunConfig::validate() const
+{
+    std::vector<ConfigError> errors;
+    if (!(threshold >= 0.0f && threshold <= 1.0f))
+        errors.push_back(ConfigError::BadThreshold);
+    if (!isPow2(tc_scale))
+        errors.push_back(ConfigError::BadTcScale);
+    if (!isPow2(llc_scale))
+        errors.push_back(ConfigError::BadLlcScale);
+    if (max_aniso < 1 || max_aniso > 64)
+        errors.push_back(ConfigError::BadMaxAniso);
+    if (table_entries < 0 || table_entries > 4096)
+        errors.push_back(ConfigError::BadTableEntries);
+    if (threads < 0 || threads > 4096)
+        errors.push_back(ConfigError::BadThreads);
+    return errors;
+}
 
 double
 RunResult::mssimAgainst(const std::vector<Image> &reference) const
@@ -73,6 +118,10 @@ RunResult
 runTrace(const GameTrace &trace, const RunConfig &config)
 {
     armContractReport();
+    const std::vector<ConfigError> errors = config.validate();
+    if (!errors.empty())
+        fatal(std::string("invalid RunConfig: ") +
+              configErrorMessage(errors.front()));
     const std::size_t n = trace.cameras.size();
     const unsigned want = config.threads > 0
         ? static_cast<unsigned>(config.threads)
@@ -141,6 +190,14 @@ std::vector<RunResult>
 runSweep(const GameTrace &trace, const std::vector<RunConfig> &configs,
          int threads)
 {
+    // Reject bad conditions before fanning out — a fatal() on a worker
+    // thread would otherwise tear down the pool mid-sweep.
+    for (const RunConfig &c : configs) {
+        const std::vector<ConfigError> errors = c.validate();
+        if (!errors.empty())
+            fatal(std::string("invalid RunConfig in sweep: ") +
+                  configErrorMessage(errors.front()));
+    }
     std::vector<RunResult> results(configs.size());
     // Conditions fan out across workers; runTrace() detects it is on a
     // worker and keeps its frames serial, so there is exactly one level

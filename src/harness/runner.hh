@@ -24,6 +24,24 @@
 namespace pargpu
 {
 
+/**
+ * Typed reason a RunConfig field is invalid, as reported by
+ * RunConfig::validate(). Callers that want a human-readable message use
+ * configErrorMessage().
+ */
+enum class ConfigError
+{
+    BadThreshold,    ///< threshold outside [0, 1].
+    BadTcScale,      ///< tc_scale zero or not a power of two.
+    BadLlcScale,     ///< llc_scale zero or not a power of two.
+    BadMaxAniso,     ///< max_aniso outside [1, 64].
+    BadTableEntries, ///< table_entries negative or above 4096.
+    BadThreads,      ///< threads negative or above 4096.
+};
+
+/** Human-readable description of @p error (includes the legal range). */
+const char *configErrorMessage(ConfigError error);
+
 /** One experimental condition. */
 struct RunConfig
 {
@@ -36,6 +54,20 @@ struct RunConfig
     int table_entries = 0;    ///< PATU hash-table entries (0 = default).
     int threads = 0;          ///< Frame-level parallelism for runTrace():
                               ///< 0 = PARGPU_THREADS/default, 1 = serial.
+
+    /**
+     * Check every field against its legal range and return the list of
+     * violations (empty = valid). runTrace()/runSweep() call this and
+     * fatal() on the first violation instead of silently clamping or
+     * crashing deep inside cache construction; interactive drivers (the
+     * harness CLI) report all violations and exit cleanly.
+     *
+     * Ranges: threshold in [0,1]; tc_scale/llc_scale a power of two >= 1
+     * (the cache model requires a power-of-two set count); max_aniso in
+     * [1,64]; table_entries in [0,4096] (0 = scenario default);
+     * threads in [0,4096] (0 = PARGPU_THREADS/default).
+     */
+    std::vector<ConfigError> validate() const;
 };
 
 /** Aggregated results of rendering all frames of a trace. */

@@ -1,5 +1,6 @@
 #include "mem/memsys.hh"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/contract.hh"
@@ -54,6 +55,16 @@ MemorySystem::read(unsigned cluster, Addr addr, Cycle now, TrafficClass cls)
     DramResult r = dram_->read(addr, now, view);
     traffic_[static_cast<int>(cls)] += config_.line_bytes;
     return r.complete;
+}
+
+Cycle
+MemorySystem::readLines(unsigned cluster, std::span<const Addr> lines,
+                        Cycle now, TrafficClass cls)
+{
+    Cycle done = now;
+    for (Addr line : lines)
+        done = std::max(done, read(cluster, line, now, cls));
+    return done;
 }
 
 void

@@ -9,6 +9,7 @@
 #define PARGPU_MEM_MEMSYS_HH
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/stats.hh"
@@ -71,6 +72,20 @@ class MemorySystem
      * @return Cycle at which the data is available.
      */
     Cycle read(unsigned cluster, Addr addr, Cycle now, TrafficClass cls);
+
+    /**
+     * Timed batched read of pre-deduplicated line addresses, all issued
+     * at @p now. Each line pays exactly one tag lookup per cache level it
+     * reaches; the caller guarantees the addresses are distinct (the
+     * texture unit's per-quad coalescing). Walks the hierarchy in order,
+     * so it is equivalent to read() per line with the max completion
+     * returned.
+     *
+     * @return The furthest completion cycle (@p now when @p lines is
+     *         empty).
+     */
+    Cycle readLines(unsigned cluster, std::span<const Addr> lines,
+                    Cycle now, TrafficClass cls);
 
     /** Bandwidth-only write (framebuffer flush, etc.). */
     void write(Addr addr, Bytes bytes, Cycle now, TrafficClass cls);

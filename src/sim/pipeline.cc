@@ -272,6 +272,9 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         fs.texels += ts.texels;
         fs.addr_ops += ts.addr_ops;
         fs.table_accesses += ts.table_accesses;
+        fs.tex_lines += ts.lines;
+        fs.memo_lookups += ts.memo_lookups;
+        fs.memo_hits += ts.memo_hits;
         fs.af_candidate_pixels += ts.af_candidate_pixels;
         fs.approx_stage1 += ts.approx_stage1;
         fs.approx_stage2 += ts.approx_stage2;

@@ -51,6 +51,10 @@ struct FrameStats
     std::uint64_t texels = 0;
     std::uint64_t addr_ops = 0;
     std::uint64_t table_accesses = 0;
+    std::uint64_t tex_lines = 0;     ///< Distinct lines fetched per quad,
+                                     ///< summed over quads.
+    std::uint64_t memo_lookups = 0;  ///< Footprint-memo probes.
+    std::uint64_t memo_hits = 0;     ///< ... served from the memo.
 
     // --- PATU decisions --------------------------------------------------
     std::uint64_t af_candidate_pixels = 0;

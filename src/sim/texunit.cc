@@ -18,38 +18,56 @@ TextureUnit::TextureUnit(const GpuConfig &config, unsigned cluster,
                   "max_aniso must be positive: ", config.max_aniso);
 }
 
-Cycle
-TextureUnit::fetchSample(const TrilinearSample &s, Cycle now)
+TextureUnit::QuadLineSet::QuadLineSet()
 {
-    // Texels within a sample frequently share cache lines (tiled layout);
-    // the fetch unit coalesces them, so issue one timed read per unique
-    // line address in the footprint.
+    std::fill(std::begin(slot_gen_), std::end(slot_gen_), 0u);
+    order_.reserve(512);
+}
+
+void
+TextureUnit::QuadLineSet::reset()
+{
+    // Generation stamping invalidates every slot without touching the
+    // table; on the (rare) wraparound the stamps are cleared for real.
+    if (++gen_ == 0) {
+        std::fill(std::begin(slot_gen_), std::end(slot_gen_), 0u);
+        gen_ = 1;
+    }
+    order_.clear();
+}
+
+void
+TextureUnit::QuadLineSet::insertLine(Addr line_addr)
+{
+    std::uint64_t z = line_addr * 0x9E3779B97F4A7C15ull;
+    std::uint32_t slot = static_cast<std::uint32_t>(z >> 32) & (kSlots - 1);
+    for (std::uint32_t probes = 0; probes < kSlots;
+         ++probes, slot = (slot + 1) & (kSlots - 1)) {
+        if (slot_gen_[slot] != gen_) {
+            slot_gen_[slot] = gen_;
+            slot_addr_[slot] = line_addr;
+            order_.push_back(line_addr);
+            return;
+        }
+        if (slot_addr_[slot] == line_addr)
+            return;
+    }
+    PARGPU_INVARIANT(false, "quad line set overflow: a quad touches at "
+                            "most 512 lines");
+}
+
+void
+TextureUnit::queueSample(const TrilinearSample &s)
+{
+    // Texels within a sample frequently share cache lines (tiled layout),
+    // and samples across the quad share whole footprints; the fetch unit
+    // coalesces all of it, so record each distinct line once for the
+    // quad-level batched read.
     const Bytes line = mem_->config().line_bytes;
-    Addr lines[8];
-    int n_lines = 0;
-    for (const TexelRef &t : s.texels) {
-        Addr la = t.addr / line * line;
-        bool seen = false;
-        for (int i = 0; i < n_lines; ++i)
-            seen |= lines[i] == la;
-        if (!seen)
-            lines[n_lines++] = la;
-    }
-    // A trilinear footprint is exactly 8 texels, so line coalescing can
-    // produce between 1 and 8 unique lines.
-    PARGPU_CHECK_RANGE(n_lines, 1, 8, "footprint line coalescing");
-    Cycle done = now;
-    for (int i = 0; i < n_lines; ++i) {
-        Cycle c = mem_->read(cluster_, lines[i], now,
-                             TrafficClass::Texture);
-        done = std::max(done, c);
-    }
+    for (const TexelRef &t : s.texels)
+        lines_.insertLine(t.addr / line * line);
     stats_.texels += 8;
     ++stats_.trilinear_samples;
-    PARGPU_INVARIANT(done >= now,
-                     "memory time ran backwards: now=", now,
-                     " done=", done);
-    return done;
 }
 
 QuadFilterResult
@@ -63,14 +81,18 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
     AnisotropyInfo info = sampler.computeAnisotropy(
         quad.duvdx, quad.duvdy, config_.max_aniso);
 
+    memo_.reset();
+    lines_.reset();
+    arena_.reset();
+
     PixelPlan plans[4];
-    // Stored AF footprints per pixel, when the decision requires them.
-    std::vector<TrilinearSample> footprints[4];
+    // Stored AF footprints per pixel, when the decision requires them
+    // (arena-backed: recycled wholesale at the next quad).
+    std::span<TrilinearSample> footprints[4];
 
     bool any_af_pixel = false;
     bool any_approx = false;
     bool any_keep = false;
-    Cycle fetch_done = now; ///< Furthest fetch completion in the quad.
 
     for (int i = 0; i < 4; ++i) {
         if (!(quad.coverage & (1u << i)))
@@ -83,12 +105,13 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
             // Isotropic draw calls: one trilinear sample (bilinear uses
             // LOD 0, which degenerates to a single-level footprint).
             float lod = mode == FilterMode::Bilinear ? 0.0f : info.lodTF;
-            FilterResult fr = sampler.filterTrilinear(quad.uv[i], lod);
-            plan.color = fr.color;
+            std::span<TrilinearSample> s =
+                arena_.allocSpan<TrilinearSample>(1);
+            plan.color = sampler.filterTrilinearInto(quad.uv[i], lod,
+                                                     s[0], &memo_);
             plan.fetch_samples = 1;
             plan.addr_samples = 1;
-            fetch_done = std::max(fetch_done,
-                                  fetchSample(fr.samples[0], now));
+            queueSample(s[0]);
             continue;
         }
 
@@ -102,12 +125,15 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
 
         PixelDecision d = patu_.preDecide(info);
 
+        Color4f af_color;
         if (d.need_distribution) {
             // Texel Address Calculation for all N samples, fed into the
             // hash table as each sample's addresses complete (overlapped
             // with address calculation, Section V-B).
-            footprints[i] =
-                sampler.filterAnisotropic(quad.uv[i], info).samples;
+            footprints[i] = arena_.allocSpan<TrilinearSample>(
+                static_cast<std::size_t>(info.sampleSize));
+            af_color = sampler.filterAnisotropicInto(
+                quad.uv[i], info, footprints[i].data(), &memo_);
             plan.addr_samples = static_cast<int>(footprints[i].size());
             stats_.table_accesses += footprints[i].size();
             patu_.finishDistribution(d, info, footprints[i]);
@@ -140,43 +166,53 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
         if (d.approximate) {
             any_approx = any_approx || info.sampleSize > 1;
             // The decision LOD must be a usable mip coordinate: finite
-            // and not below the base level (trilinear() clamps the top
-            // end against the actual chain length).
+            // and not below the base level (trilinearInto() clamps the
+            // top end against the actual chain length).
             PARGPU_ASSERT(d.lod >= 0.0f && d.lod <= 32.0f,
                           "decision LOD out of mip-chain bounds: ", d.lod);
             // TF at the decision's LOD. Stage-2 approximations pay one
             // extra address-recalculation loop (Section V-B).
-            FilterResult fr = sampler.filterTrilinear(quad.uv[i], d.lod);
-            plan.color = fr.color;
+            std::span<TrilinearSample> s =
+                arena_.allocSpan<TrilinearSample>(1);
+            plan.color = sampler.filterTrilinearInto(quad.uv[i], d.lod,
+                                                     s[0], &memo_);
             plan.fetch_samples = 1;
             plan.addr_samples += 1;
-            fetch_done = std::max(fetch_done,
-                                  fetchSample(fr.samples[0], now));
+            queueSample(s[0]);
         } else {
             any_keep = any_keep || info.sampleSize > 1;
             if (footprints[i].empty()) {
                 // Baseline / AF-SSIM(N) kept AF without running the
                 // distribution stage: compute the footprints now.
-                FilterResult fr =
-                    sampler.filterAnisotropic(quad.uv[i], info);
-                plan.color = fr.color;
-                footprints[i] = std::move(fr.samples);
+                footprints[i] = arena_.allocSpan<TrilinearSample>(
+                    static_cast<std::size_t>(info.sampleSize));
+                plan.color = sampler.filterAnisotropicInto(
+                    quad.uv[i], info, footprints[i].data(), &memo_);
                 plan.addr_samples =
                     static_cast<int>(footprints[i].size());
             } else {
-                // Reuse the footprints from the distribution check.
-                Color4f acc{0, 0, 0, 0};
-                float inv =
-                    1.0f / static_cast<float>(footprints[i].size());
-                for (const TrilinearSample &s : footprints[i])
-                    acc += s.color * inv;
-                plan.color = acc;
+                // Reuse the footprints (and color) from the distribution
+                // check.
+                plan.color = af_color;
             }
             plan.fetch_samples = static_cast<int>(footprints[i].size());
             for (const TrilinearSample &s : footprints[i])
-                fetch_done = std::max(fetch_done, fetchSample(s, now));
+                queueSample(s);
         }
     }
+
+    // One batched memory-system call for every distinct line the quad
+    // touched, in first-touch order: a single tag lookup per line. All
+    // sample fetches of a quad issue at the same cycle (as in the seed),
+    // so the furthest completion is the max over the distinct lines.
+    Cycle fetch_done = mem_->readLines(cluster_, lines_.order(), now,
+                                       TrafficClass::Texture);
+    stats_.lines += lines_.order().size();
+    stats_.memo_lookups += memo_.lookups();
+    stats_.memo_hits += memo_.hits();
+    PARGPU_INVARIANT(fetch_done >= now,
+                     "memory time ran backwards: now=", now,
+                     " done=", fetch_done);
 
     // --- Timing -----------------------------------------------------
     // Address ALUs: 8 addresses per trilinear sample over addr_alus ALUs

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "core/patu.hh"
 #include "mem/memsys.hh"
@@ -38,6 +39,10 @@ struct TexUnitStats
     std::uint64_t texels = 0;           ///< Texels requested (8/sample).
     std::uint64_t addr_ops = 0;         ///< Address calculations (texels).
     std::uint64_t table_accesses = 0;   ///< Hash-table insert operations.
+    std::uint64_t lines = 0;            ///< Distinct cache lines per quad,
+                                        ///< summed (batched fetch size).
+    std::uint64_t memo_lookups = 0;     ///< Footprint-memo probes.
+    std::uint64_t memo_hits = 0;        ///< ... that found the footprint.
     Cycle filter_busy = 0;              ///< TU busy cycles (Fig. 18 metric).
     Cycle mem_stall = 0;                ///< Exposed texel-fetch stall.
 
@@ -107,14 +112,48 @@ class TextureUnit
         Color4f color;
     };
 
-    /** Issue timed reads for a sample's unique cache lines. */
-    Cycle fetchSample(const TrilinearSample &s, Cycle now);
+    /**
+     * Deduplicating collector of the cache lines one quad touches.
+     *
+     * Lines are recorded in first-touch order (the order the seed issued
+     * them in) and fetched with a single batched memory-system call per
+     * quad, so each distinct line pays exactly one tag lookup. Worst case
+     * is bounded: 4 pixels x 16 AF samples x 8 texels = 512 lines, so the
+     * half-loaded 1024-slot open-addressed table never fills.
+     */
+    class QuadLineSet
+    {
+      public:
+        QuadLineSet();
+
+        /** Forget all lines (start of a quad). */
+        void reset();
+
+        /** Record the line containing @p addr if not yet seen. */
+        void insertLine(Addr line_addr);
+
+        const std::vector<Addr> &order() const { return order_; }
+
+      private:
+        static constexpr std::uint32_t kSlots = 1024;
+
+        Addr slot_addr_[kSlots];
+        std::uint32_t slot_gen_[kSlots];
+        std::uint32_t gen_ = 0;   ///< Current quad's generation stamp.
+        std::vector<Addr> order_; ///< Distinct lines, first-touch order.
+    };
+
+    /** Record a sample's lines into the quad batch (no memory access). */
+    void queueSample(const TrilinearSample &s);
 
     GpuConfig config_;
     unsigned cluster_;
     MemorySystem *mem_;
     PatuUnit patu_;
     TexUnitStats stats_;
+    FootprintMemo memo_;   ///< Per-quad footprint cache.
+    QuadLineSet lines_;    ///< Per-quad batched line requests.
+    BumpArena arena_;      ///< Per-quad AF footprint storage.
 };
 
 } // namespace pargpu

@@ -9,7 +9,8 @@ namespace pargpu
 {
 
 std::vector<MipLevel>
-buildMipPyramid(int width, int height, std::vector<RGBA8> base)
+buildMipPyramid(int width, int height, std::vector<RGBA8> base,
+                TexelStorage storage)
 {
     if (!isPowerOfTwo(width) || !isPowerOfTwo(height))
         fatal("texture dimensions must be powers of two");
@@ -17,13 +18,28 @@ buildMipPyramid(int width, int height, std::vector<RGBA8> base)
         fatal("texel count does not match texture dimensions");
 
     std::vector<MipLevel> levels;
-    levels.push_back({width, height, std::move(base)});
+    MipLevel l0;
+    l0.width = width;
+    l0.height = height;
+    l0.storage = storage;
+    if (storage == TexelStorage::Linear) {
+        l0.texels = std::move(base);
+    } else {
+        // The input raster is row-major by contract; swizzle it into the
+        // requested storage order. Pure reordering — values are untouched.
+        l0.texels.resize(base.size());
+        for (int y = 0; y < height; ++y)
+            for (int x = 0; x < width; ++x)
+                l0.at(x, y) = base[static_cast<std::size_t>(y) * width + x];
+    }
+    levels.push_back(std::move(l0));
 
     while (levels.back().width > 1 || levels.back().height > 1) {
         const MipLevel &src = levels.back();
         MipLevel dst;
         dst.width = std::max(1, src.width / 2);
         dst.height = std::max(1, src.height / 2);
+        dst.storage = storage;
         dst.texels.resize(static_cast<std::size_t>(dst.width) * dst.height);
         for (int y = 0; y < dst.height; ++y) {
             for (int x = 0; x < dst.width; ++x) {

@@ -20,10 +20,14 @@ namespace pargpu
  * @param width   Level-0 width (power of two).
  * @param height  Level-0 height (power of two).
  * @param base    Row-major level-0 texels.
+ * @param storage Host storage order of the produced levels; @p base is
+ *                reordered for level 0 when it differs. The texel values
+ *                are identical either way.
  * @return Levels from 0 (full resolution) to log2(max(w, h)) (1x1).
  */
-std::vector<MipLevel> buildMipPyramid(int width, int height,
-                                      std::vector<RGBA8> base);
+std::vector<MipLevel>
+buildMipPyramid(int width, int height, std::vector<RGBA8> base,
+                TexelStorage storage = TexelStorage::Linear);
 
 /** True if @p v is a positive power of two. */
 constexpr bool

@@ -86,35 +86,45 @@ TextureSampler::bilinear(const Vec2 &uv, int level) const
     return lerp(lerp(c00, c10, fu), lerp(c01, c11, fu), fv);
 }
 
-TrilinearSample
-TextureSampler::trilinear(const Vec2 &uv, float lod) const
+LodSelect
+TextureSampler::selectLod(float lod) const
 {
-    TrilinearSample s;
-    s.uv = uv;
-
+    LodSelect sel;
     const int max_level = tex_->numLevels() - 1;
     if (lod <= 0.0f) {
-        s.level0 = s.level1 = 0;
-        s.frac = 0.0f;
+        sel.level0 = sel.level1 = 0;
+        sel.frac = 0.0f;
     } else if (lod >= static_cast<float>(max_level)) {
-        s.level0 = s.level1 = max_level;
-        s.frac = 0.0f;
+        sel.level0 = sel.level1 = max_level;
+        sel.frac = 0.0f;
     } else {
-        s.level0 = static_cast<int>(std::floor(lod));
-        s.level1 = s.level0 + 1;
-        s.frac = lod - static_cast<float>(s.level0);
+        sel.level0 = static_cast<int>(std::floor(lod));
+        sel.level1 = sel.level0 + 1;
+        sel.frac = lod - static_cast<float>(sel.level0);
     }
     // The selected levels must land inside the mip chain (the clamps
     // above guarantee it for any finite lod, including negatives).
-    PARGPU_CHECK_RANGE(s.level0, 0, max_level, "lod=", lod);
-    PARGPU_CHECK_RANGE(s.level1, s.level0, max_level, "lod=", lod);
-    PARGPU_CHECK_RANGE(s.frac, 0.0f, 1.0f, "lod=", lod);
+    PARGPU_CHECK_RANGE(sel.level0, 0, max_level, "lod=", lod);
+    PARGPU_CHECK_RANGE(sel.level1, sel.level0, max_level, "lod=", lod);
+    PARGPU_CHECK_RANGE(sel.frac, 0.0f, 1.0f, "lod=", lod);
+    return sel;
+}
+
+void
+TextureSampler::trilinearInto(const Vec2 &uv, const LodSelect &sel,
+                              TrilinearSample &out,
+                              FootprintMemo *memo) const
+{
+    out.uv = uv;
+    out.level0 = sel.level0;
+    out.level1 = sel.level1;
+    out.frac = sel.frac;
 
     Color4f acc{0, 0, 0, 0};
     int slot = 0;
     for (int li = 0; li < 2; ++li) {
-        int level = li == 0 ? s.level0 : s.level1;
-        float level_w = li == 0 ? 1.0f - s.frac : s.frac;
+        int level = li == 0 ? sel.level0 : sel.level1;
+        float level_w = li == 0 ? 1.0f - sel.frac : sel.frac;
         const MipLevel &lv = tex_->level(level);
         float tu = uv.x * lv.width - 0.5f;
         float tv = uv.y * lv.height - 0.5f;
@@ -128,23 +138,40 @@ TextureSampler::trilinear(const Vec2 &uv, float lod) const
             (1.0f - fu) * fv,
             fu * fv,
         };
+        // The 2x2 footprint's colors and addresses, through the per-quad
+        // memo when available. A memo hit returns the exact values a
+        // fresh fetch would, so the blend below is unchanged.
+        Color4f fc[4];
+        Addr fa[4];
+        if (memo == nullptr || !memo->lookup(level, x0, y0, fc, fa)) {
+            tex_->fetchFootprint(level, x0, y0, fc, fa);
+            if (memo != nullptr)
+                memo->store(level, x0, y0, fc, fa);
+        }
         const int dx[4] = {0, 1, 0, 1};
         const int dy[4] = {0, 0, 1, 1};
         for (int i = 0; i < 4; ++i, ++slot) {
-            TexelRef &t = s.texels[slot];
+            TexelRef &t = out.texels[slot];
             t.level = level;
             t.x = x0 + dx[i];
             t.y = y0 + dy[i];
             t.weight = bw[i] * level_w;
-            t.addr = tex_->texelAddr(level, t.x, t.y);
+            t.addr = fa[i];
             // When level0 == level1 (LOD clamped) the second level's weight
             // is zero and its texels duplicate the first; the color math is
             // unaffected and the address stream matches a hardware unit that
             // always issues both level fetches.
-            acc += tex_->fetchTexel(level, t.x, t.y) * t.weight;
+            acc += fc[i] * t.weight;
         }
     }
-    s.color = acc;
+    out.color = acc;
+}
+
+TrilinearSample
+TextureSampler::trilinear(const Vec2 &uv, float lod) const
+{
+    TrilinearSample s;
+    trilinearInto(uv, selectLod(lod), s, nullptr);
     return s;
 }
 
@@ -157,14 +184,24 @@ TextureSampler::filterTrilinear(const Vec2 &uv, float lod) const
     return r;
 }
 
-FilterResult
-TextureSampler::filterAnisotropic(const Vec2 &uv,
-                                  const AnisotropyInfo &info) const
+Color4f
+TextureSampler::filterTrilinearInto(const Vec2 &uv, float lod,
+                                    TrilinearSample &out,
+                                    FootprintMemo *memo) const
 {
-    FilterResult r;
+    trilinearInto(uv, selectLod(lod), out, memo);
+    return out.color;
+}
+
+Color4f
+TextureSampler::filterAnisotropicInto(const Vec2 &uv,
+                                      const AnisotropyInfo &info,
+                                      TrilinearSample *out,
+                                      FootprintMemo *memo) const
+{
     const int n = info.sampleSize;
     PARGPU_ASSERT(n >= 1, "anisotropic filter needs n >= 1, got ", n);
-    r.samples.reserve(n);
+    const LodSelect sel = selectLod(info.lodAF);
     Color4f acc{0, 0, 0, 0};
     // Sample centers span only the ellipse interior: each trilinear
     // sample has an isotropic footprint of diameter pMin, so centers are
@@ -172,7 +209,8 @@ TextureSampler::filterAnisotropic(const Vec2 &uv,
     // pMax of the derivative vector). This keeps the union of footprints
     // inside the ellipse and — for small axis ratios — places successive
     // samples within a texel of each other, which is exactly the texel-
-    // set sharing the paper measures in Fig. 12.
+    // set sharing the paper measures in Fig. 12 and what the footprint
+    // memo exploits.
     float span = info.pMax > 0.0f
         ? std::max(0.0f, 1.0f - info.pMin / info.pMax) : 0.0f;
     for (int i = 0; i < n; ++i) {
@@ -180,11 +218,19 @@ TextureSampler::filterAnisotropic(const Vec2 &uv,
         // n == 1 this degenerates to the TF center.
         float t = span * (2.0f * i - n + 1.0f) / (2.0f * n);
         Vec2 sample_uv{uv.x + info.majorUv.x * t, uv.y + info.majorUv.y * t};
-        TrilinearSample s = trilinear(sample_uv, info.lodAF);
-        acc += s.color * (1.0f / static_cast<float>(n));
-        r.samples.push_back(std::move(s));
+        trilinearInto(sample_uv, sel, out[i], memo);
+        acc += out[i].color * (1.0f / static_cast<float>(n));
     }
-    r.color = acc;
+    return acc;
+}
+
+FilterResult
+TextureSampler::filterAnisotropic(const Vec2 &uv,
+                                  const AnisotropyInfo &info) const
+{
+    FilterResult r;
+    r.samples.resize(static_cast<std::size_t>(info.sampleSize));
+    r.color = filterAnisotropicInto(uv, info, r.samples.data(), nullptr);
     return r;
 }
 

@@ -19,6 +19,7 @@
 #define PARGPU_TEXTURE_SAMPLER_HH
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "common/color.hh"
@@ -90,6 +91,108 @@ struct FilterResult
     std::vector<TrilinearSample> samples; ///< N samples (1 for TF).
 };
 
+/** Mip levels and blend fraction selected for a LOD value. */
+struct LodSelect
+{
+    int level0 = 0;    ///< Finer level.
+    int level1 = 0;    ///< Coarser level (== level0 when clamped).
+    float frac = 0.0f; ///< Blend toward level1.
+};
+
+/**
+ * Per-quad cache of 2x2 bilinear footprints keyed by (level, x0, y0).
+ *
+ * Successive AF samples of a pixel — and the pixels of a quad — land on
+ * overlapping footprints (the same redundancy PATU's Txds table measures,
+ * Fig. 12). The memo stores each footprint's four texel colors and
+ * simulated addresses so shared footprints are fetched from the texture
+ * raster once per quad. Hits return the exact values a fresh fetch would
+ * produce, so filtering output is bit-identical; only host work is saved.
+ * Divergent footprints (different level or corner) never match: the full
+ * key is compared, not just the hash.
+ *
+ * Direct-mapped; a colliding footprint simply evicts (correctness never
+ * depends on residency). reset() is called per quad and also clears the
+ * hit/lookup counters so the texture unit can drain them into its stats.
+ */
+class FootprintMemo
+{
+  public:
+    static constexpr int kSlots = 128; ///< >= footprints of a 16x AF quad.
+
+    /** Forget all entries and zero the counters (start of a quad). */
+    void
+    reset()
+    {
+        for (Entry &e : slots_)
+            e.valid = false;
+        lookups_ = 0;
+        hits_ = 0;
+    }
+
+    /**
+     * Look the footprint up; on a hit copy the stored colors/addresses
+     * into @p color / @p addr and return true.
+     */
+    bool
+    lookup(int level, int x0, int y0, Color4f color[4], Addr addr[4])
+    {
+        ++lookups_;
+        const Entry &e = slots_[slotOf(level, x0, y0)];
+        if (!e.valid || e.level != level || e.x0 != x0 || e.y0 != y0)
+            return false;
+        ++hits_;
+        for (int i = 0; i < 4; ++i) {
+            color[i] = e.color[i];
+            addr[i] = e.addr[i];
+        }
+        return true;
+    }
+
+    /** Store a freshly fetched footprint (evicts any slot collision). */
+    void
+    store(int level, int x0, int y0, const Color4f color[4],
+          const Addr addr[4])
+    {
+        Entry &e = slots_[slotOf(level, x0, y0)];
+        e.valid = true;
+        e.level = level;
+        e.x0 = x0;
+        e.y0 = y0;
+        for (int i = 0; i < 4; ++i) {
+            e.color[i] = color[i];
+            e.addr[i] = addr[i];
+        }
+    }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        int level = 0;
+        int x0 = 0;
+        int y0 = 0;
+        Color4f color[4];
+        Addr addr[4];
+    };
+
+    static std::size_t
+    slotOf(int level, int x0, int y0)
+    {
+        std::uint32_t h = static_cast<std::uint32_t>(x0) * 0x9E3779B1u ^
+            static_cast<std::uint32_t>(y0) * 0x85EBCA77u ^
+            static_cast<std::uint32_t>(level) * 0xC2B2AE3Du;
+        return h & (kSlots - 1);
+    }
+
+    Entry slots_[kSlots];
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
 /**
  * Sampler bound to a single TextureMap. Stateless between lookups; all
  * methods are const.
@@ -118,10 +221,25 @@ class TextureSampler
     Color4f bilinear(const Vec2 &uv, int level) const;
 
     /**
+     * Select the mip levels and blend fraction for @p lod, clamped to the
+     * bound texture's chain. Shared by every trilinear sample at the same
+     * LOD, so callers filtering a whole quad compute it once.
+     */
+    LodSelect selectLod(float lod) const;
+
+    /**
      * One trilinear sample at @p uv with level of detail @p lod.
      * Produces the full 8-texel footprint.
      */
     TrilinearSample trilinear(const Vec2 &uv, float lod) const;
+
+    /**
+     * Fill @p out with the trilinear sample at @p uv under a precomputed
+     * level selection, fetching footprints through @p memo when provided.
+     * Bit-identical to trilinear(uv, lod) for sel == selectLod(lod).
+     */
+    void trilinearInto(const Vec2 &uv, const LodSelect &sel,
+                       TrilinearSample &out, FootprintMemo *memo) const;
 
     /**
      * Trilinear filter of a pixel (the paper's TF): one trilinear sample at
@@ -130,12 +248,30 @@ class TextureSampler
     FilterResult filterTrilinear(const Vec2 &uv, float lod) const;
 
     /**
+     * Allocation-free trilinear filter: writes the single sample into
+     * @p out and returns its color. Equals filterTrilinear().
+     */
+    Color4f filterTrilinearInto(const Vec2 &uv, float lod,
+                                TrilinearSample &out,
+                                FootprintMemo *memo) const;
+
+    /**
      * Anisotropic filter of a pixel (the paper's AF): @p info.sampleSize
      * trilinear samples spaced along the major axis at lodAF, averaged with
      * equal weights (Eq. 3).
      */
     FilterResult filterAnisotropic(const Vec2 &uv,
                                    const AnisotropyInfo &info) const;
+
+    /**
+     * Allocation-free anisotropic filter: writes info.sampleSize samples
+     * into @p out (caller-provided storage of at least that many slots)
+     * and returns the averaged color. Equals filterAnisotropic().
+     */
+    Color4f filterAnisotropicInto(const Vec2 &uv,
+                                  const AnisotropyInfo &info,
+                                  TrilinearSample *out,
+                                  FootprintMemo *memo) const;
 
   private:
     const TextureMap *tex_;

@@ -1,5 +1,8 @@
 #include "texture/texture.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/contract.hh"
 #include "common/logging.hh"
 #include "texture/mipmap.hh"
@@ -7,18 +10,72 @@
 namespace pargpu
 {
 
+namespace
+{
+
+TexelStorage g_default_storage = [] {
+    const char *v = std::getenv("PARGPU_TEXEL_STORAGE");
+    if (v != nullptr && std::strcmp(v, "linear") == 0)
+        return TexelStorage::Linear;
+    if (v != nullptr && v[0] != '\0' && std::strcmp(v, "morton") != 0)
+        fatal("PARGPU_TEXEL_STORAGE must be 'linear' or 'morton'");
+    return TexelStorage::Morton;
+}();
+
+/** log2 of a power of two. */
+std::uint32_t
+log2Pow2(int v)
+{
+    std::uint32_t s = 0;
+    while ((1 << s) < v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+TexelStorage
+TextureMap::defaultStorage()
+{
+    return g_default_storage;
+}
+
+void
+TextureMap::setDefaultStorage(TexelStorage s)
+{
+    g_default_storage = s;
+}
+
 TextureMap::TextureMap(int width, int height, std::vector<RGBA8> texels,
                        WrapMode wrap, TexelLayout layout,
-                       StorageFormat format)
-    : levels_(buildMipPyramid(width, height, std::move(texels))),
-      wrap_(wrap), layout_(layout), format_(format)
+                       StorageFormat format,
+                       std::optional<TexelStorage> storage)
+    : wrap_(wrap), layout_(layout), format_(format),
+      // BC1 keeps the raster row-major: MipLevel::texels is only the
+      // compression input there (compressLevel consumes row-major), and
+      // every fetch goes through the BC1 blocks.
+      storage_(format == StorageFormat::BC1
+                   ? TexelStorage::Linear
+                   : storage.value_or(defaultStorage()))
 {
+    levels_ = buildMipPyramid(width, height, std::move(texels), storage_);
     Bytes offset = 0;
     levelOffset_.reserve(levels_.size());
+    geom_.reserve(levels_.size());
     if (format_ == StorageFormat::BC1)
         bc1_levels_.reserve(levels_.size());
     for (const MipLevel &lv : levels_) {
         levelOffset_.push_back(offset);
+        LevelGeom g;
+        g.wmask = lv.width - 1;
+        g.hmask = lv.height - 1;
+        g.row_shift = log2Pow2(lv.width);
+        g.tiled = layout_ == TexelLayout::Tiled4x4 && lv.width >= 4 &&
+            lv.height >= 4;
+        g.tpr_shift = g.tiled ? log2Pow2(lv.width / 4) : 0;
+        g.blk_shift = log2Pow2((lv.width + 3) / 4);
+        g.offset = offset;
+        geom_.push_back(g);
         if (format_ == StorageFormat::BC1) {
             bc1_levels_.push_back(
                 compressLevel(lv.width, lv.height, lv.texels));
@@ -50,41 +107,18 @@ Addr
 TextureMap::texelAddr(int level, int x, int y) const
 {
     PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "texelAddr level");
-    const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
-    int wx = wrapCoord(x, lv.width, wrap_);
-    int wy = wrapCoord(y, lv.height, wrap_);
-    PARGPU_INVARIANT(wx >= 0 && wx < lv.width && wy >= 0 && wy < lv.height,
-                     "wrapCoord escaped the level: (", wx, ", ", wy,
-                     ") in ", lv.width, "x", lv.height);
-    if (format_ == StorageFormat::BC1) {
-        // Compressed storage is addressed at block granularity: all 16
-        // texels of a 4x4 block live in one 8-byte record.
-        int bw = (lv.width + 3) / 4;
-        Bytes block = static_cast<Bytes>(wy / 4) * bw + (wx / 4);
-        return baseAddr_ + levelOffset_[level] + block * Bc1Block::kBytes;
-    }
-    Bytes linear;
-    if (layout_ == TexelLayout::Tiled4x4 && lv.width >= 4 && lv.height >= 4) {
-        // 4x4 texel tiles, tiles stored row-major; texels within a tile
-        // stored row-major. Matches the block layouts real texture units
-        // use to keep a bilinear footprint in one or two cache lines.
-        int tiles_per_row = lv.width / 4;
-        int tile = (wy / 4) * tiles_per_row + (wx / 4);
-        int in_tile = (wy % 4) * 4 + (wx % 4);
-        linear = static_cast<Bytes>(tile) * 16 + in_tile;
-    } else {
-        linear = static_cast<Bytes>(wy) * lv.width + wx;
-    }
-    return baseAddr_ + levelOffset_[level] + linear * RGBA8::kBytes;
+    const LevelGeom &g = geom_[static_cast<std::size_t>(level)];
+    int wx = wrapFast(x, g.wmask);
+    int wy = wrapFast(y, g.hmask);
+    PARGPU_INVARIANT(wx >= 0 && wx <= g.wmask && wy >= 0 && wy <= g.hmask,
+                     "wrapFast escaped the level: (", wx, ", ", wy,
+                     ") in ", g.wmask + 1, "x", g.hmask + 1);
+    return baseAddr_ + texelOffset(g, wx, wy);
 }
 
 Color4f
-TextureMap::fetchTexel(int level, int x, int y) const
+TextureMap::texelColor(int level, const MipLevel &lv, int wx, int wy) const
 {
-    PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "fetchTexel level");
-    const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
-    int wx = wrapCoord(x, lv.width, wrap_);
-    int wy = wrapCoord(y, lv.height, wrap_);
     if (format_ == StorageFormat::BC1) {
         int bw = (lv.width + 3) / 4;
         const Bc1Block &block =
@@ -93,6 +127,36 @@ TextureMap::fetchTexel(int level, int x, int y) const
         return decodeBc1Texel(block, wx % 4, wy % 4);
     }
     return unpackRGBA8(lv.at(wx, wy));
+}
+
+Color4f
+TextureMap::fetchTexel(int level, int x, int y) const
+{
+    PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "fetchTexel level");
+    const LevelGeom &g = geom_[static_cast<std::size_t>(level)];
+    const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
+    int wx = wrapFast(x, g.wmask);
+    int wy = wrapFast(y, g.hmask);
+    return texelColor(level, lv, wx, wy);
+}
+
+void
+TextureMap::fetchFootprint(int level, int x0, int y0, Color4f color[4],
+                           Addr addr[4]) const
+{
+    PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "fetchFootprint level");
+    const LevelGeom &g = geom_[static_cast<std::size_t>(level)];
+    const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
+    // Wrap the two columns and two rows once; the four texels are every
+    // (column, row) combination in the trilinear slot order.
+    const int wx[2] = {wrapFast(x0, g.wmask), wrapFast(x0 + 1, g.wmask)};
+    const int wy[2] = {wrapFast(y0, g.hmask), wrapFast(y0 + 1, g.hmask)};
+    for (int i = 0; i < 4; ++i) {
+        int cx = wx[i & 1];
+        int cy = wy[i >> 1];
+        addr[i] = baseAddr_ + texelOffset(g, cx, cy);
+        color[i] = texelColor(level, lv, cx, cy);
+    }
 }
 
 } // namespace pargpu

@@ -6,12 +6,23 @@
  * region of the simulated GPU address space; texelAddr() reproduces the
  * address a hardware texel-address calculator would emit, which is what the
  * texture caches and PATU's texel-address hash table consume.
+ *
+ * Two layout notions are deliberately separate:
+ *  - TexelLayout is the *simulated* address layout: it decides which
+ *    addresses the hardware would emit and therefore shapes cache behavior
+ *    and PATU's hash-table contents. It is part of the modeled machine.
+ *  - TexelStorage is the *host-side* storage order of MipLevel::texels: it
+ *    only affects how fast this process can fetch texel colors. Morton
+ *    storage keeps a 4x4 tile (one 64-byte simulated cache line) contiguous
+ *    in host memory so a 2x2 bilinear footprint lands in one or two host
+ *    cache lines. Rendered output is bit-identical across storage modes.
  */
 
 #ifndef PARGPU_TEXTURE_TEXTURE_HH
 #define PARGPU_TEXTURE_TEXTURE_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/color.hh"
@@ -28,11 +39,18 @@ enum class WrapMode
     ClampToEdge, ///< Clamp texel coordinates to the level border.
 };
 
-/** In-memory texel layout within a mip level. */
+/** Simulated texel-address layout within a mip level. */
 enum class TexelLayout
 {
     Linear,   ///< Row-major.
     Tiled4x4, ///< 4x4 texel tiles, row-major tiles (GPU-typical locality).
+};
+
+/** Host-side storage order of a mip level's texel array. */
+enum class TexelStorage
+{
+    Linear, ///< Row-major (the seed layout).
+    Morton, ///< 4x4 tiles, Z-order within each tile, tiles row-major.
 };
 
 /** On-memory storage format of the texture data. */
@@ -42,23 +60,47 @@ enum class StorageFormat
     BC1,   ///< Block-compressed, 8 bytes per 4x4 block (8:1).
 };
 
+/**
+ * Z-order of texel (x, y) within a 4x4 tile: bits of x and y interleaved
+ * x0 y0 x1 y1 (x least significant). Indexed by (y << 2) | x.
+ */
+inline constexpr std::uint8_t kMortonInTile4x4[16] = {
+    0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15,
+};
+
 /** One mip level: a levelWidth x levelHeight raster of RGBA8 texels. */
 struct MipLevel
 {
     int width = 0;
     int height = 0;
-    std::vector<RGBA8> texels; ///< Row-major logical storage.
+    std::vector<RGBA8> texels; ///< Order given by storage.
+    TexelStorage storage = TexelStorage::Linear;
+
+    /** Host array index of texel (x, y) under the storage order. */
+    std::size_t
+    index(int x, int y) const
+    {
+        if (storage == TexelStorage::Morton && width >= 4 && height >= 4) {
+            // Levels narrower than a tile in either dimension fall back to
+            // row-major (a tile would not be full).
+            std::size_t tile = static_cast<std::size_t>(y >> 2) *
+                    static_cast<std::size_t>(width >> 2) +
+                static_cast<std::size_t>(x >> 2);
+            return tile * 16 + kMortonInTile4x4[((y & 3) << 2) | (x & 3)];
+        }
+        return static_cast<std::size_t>(y) * width + x;
+    }
 
     const RGBA8 &
     at(int x, int y) const
     {
-        return texels[static_cast<std::size_t>(y) * width + x];
+        return texels[index(x, y)];
     }
 
     RGBA8 &
     at(int x, int y)
     {
-        return texels[static_cast<std::size_t>(y) * width + x];
+        return texels[index(x, y)];
     }
 };
 
@@ -79,12 +121,17 @@ class TextureMap
      * @param height  Level-0 height (power of two).
      * @param texels  Row-major level-0 texels (width * height entries).
      * @param wrap    Coordinate wrap mode.
-     * @param layout  Memory layout for texel addresses.
+     * @param layout  Simulated memory layout for texel addresses.
+     * @param format  Simulated storage format (BC1 pins host storage to
+     *                Linear: the raster is only kept as compression input).
+     * @param storage Host-side storage order; defaults to the process-wide
+     *                defaultStorage(). Does not affect rendered output.
      */
     TextureMap(int width, int height, std::vector<RGBA8> texels,
                WrapMode wrap = WrapMode::Repeat,
                TexelLayout layout = TexelLayout::Tiled4x4,
-               StorageFormat format = StorageFormat::RGBA8);
+               StorageFormat format = StorageFormat::RGBA8,
+               std::optional<TexelStorage> storage = std::nullopt);
 
     int width() const { return levels_.front().width; }
     int height() const { return levels_.front().height; }
@@ -92,6 +139,7 @@ class TextureMap
     WrapMode wrap() const { return wrap_; }
     TexelLayout layout() const { return layout_; }
     StorageFormat format() const { return format_; }
+    TexelStorage storage() const { return storage_; }
 
     const MipLevel &level(int l) const { return levels_[l]; }
 
@@ -105,9 +153,18 @@ class TextureMap
     void setBaseAddr(Addr base) { baseAddr_ = base; }
 
     /**
+     * Process-wide host storage order for new textures. Reads
+     * PARGPU_TEXEL_STORAGE (linear|morton) on first use; defaults to
+     * Morton. setDefaultStorage() is not thread-safe: call it before
+     * building scenes.
+     */
+    static TexelStorage defaultStorage();
+    static void setDefaultStorage(TexelStorage s);
+
+    /**
      * Wrap a texel coordinate into [0, extent) per the wrap mode.
      * @param c       Possibly out-of-range texel coordinate.
-     * @param extent  Level width or height.
+     * @param extent  Level width or height (power of two).
      */
     static int wrapCoord(int c, int extent, WrapMode mode);
 
@@ -120,14 +177,74 @@ class TextureMap
     /** Fetch a texel color (functional path) with wrapping applied. */
     Color4f fetchTexel(int level, int x, int y) const;
 
+    /**
+     * Fetch the 2x2 bilinear footprint with corner (x0, y0) at @p level:
+     * colors and simulated addresses of (x0, y0), (x0+1, y0), (x0, y0+1),
+     * (x0+1, y0+1) — the slot order trilinear filtering consumes. Wraps
+     * each coordinate once instead of once per texel; colors and addresses
+     * are exactly those of fetchTexel()/texelAddr().
+     */
+    void fetchFootprint(int level, int x0, int y0, Color4f color[4],
+                        Addr addr[4]) const;
+
   private:
+    /** Precomputed per-level address math (all extents are powers of two). */
+    struct LevelGeom
+    {
+        int wmask = 0;              ///< width - 1 (wrap mask / clamp max).
+        int hmask = 0;              ///< height - 1.
+        std::uint32_t row_shift = 0;///< log2(width), linear addressing.
+        std::uint32_t tpr_shift = 0;///< log2(width / 4), tiled addressing.
+        std::uint32_t blk_shift = 0;///< log2(BC1 blocks per row).
+        bool tiled = false;         ///< Tiled4x4 applies at this level.
+        Bytes offset = 0;           ///< Byte offset of the level.
+    };
+
+    /** Wrap a coordinate with the precomputed mask (Repeat) or clamp. */
+    int
+    wrapFast(int c, int mask) const
+    {
+        if (wrap_ == WrapMode::Repeat)
+            return c & mask; // Power-of-two extent: equals mod semantics.
+        return c < 0 ? 0 : (c > mask ? mask : c);
+    }
+
+    /** Level-relative byte offset of wrapped texel (wx, wy). */
+    Bytes
+    texelOffset(const LevelGeom &g, int wx, int wy) const
+    {
+        if (format_ == StorageFormat::BC1) {
+            // Compressed storage is addressed at block granularity: all 16
+            // texels of a 4x4 block live in one 8-byte record.
+            Bytes block = (static_cast<Bytes>(wy >> 2) << g.blk_shift) +
+                static_cast<Bytes>(wx >> 2);
+            return g.offset + block * Bc1Block::kBytes;
+        }
+        // 4x4 texel tiles, tiles stored row-major; texels within a tile
+        // stored row-major. Matches the block layouts real texture units
+        // use to keep a bilinear footprint in one or two cache lines.
+        Bytes linear = g.tiled
+            ? (((static_cast<Bytes>(wy >> 2) << g.tpr_shift) +
+                static_cast<Bytes>(wx >> 2))
+               << 4) +
+                static_cast<Bytes>(((wy & 3) << 2) + (wx & 3))
+            : (static_cast<Bytes>(wy) << g.row_shift) +
+                static_cast<Bytes>(wx);
+        return g.offset + linear * RGBA8::kBytes;
+    }
+
+    /** Color of wrapped texel (wx, wy) — fetchTexel after wrapping. */
+    Color4f texelColor(int level, const MipLevel &lv, int wx, int wy) const;
+
     std::vector<MipLevel> levels_;
+    std::vector<LevelGeom> geom_;    ///< Per-level address precomputation.
     std::vector<Bytes> levelOffset_; ///< Byte offset of each level.
     /** Compressed blocks per level (BC1 format only). */
     std::vector<std::vector<Bc1Block>> bc1_levels_;
     WrapMode wrap_;
     TexelLayout layout_;
     StorageFormat format_;
+    TexelStorage storage_;
     Addr baseAddr_ = 0;
     Bytes sizeBytes_ = 0;
 };

@@ -21,6 +21,15 @@ clang-tidy covers out of the box:
                string literal passed to .inc()/.set()/.observe()) must be
                documented in docs/METRICS.md
 
+One rule runs over examples/ and bench/ instead of src/:
+
+  internal-include  those trees are API consumers: they may include only
+               the public facade ("pargpu/..."; bench_util.hh within
+               bench/) — never a src-internal header like "sim/..."
+
+Public facade headers under include/ get the header rules (file-doc,
+header-self) as well.
+
 Suppressions:
   - inline: "pargpu-lint: allow(<rule>)" in a comment on the offending
     line or the line directly above it
@@ -38,7 +47,7 @@ import subprocess
 import sys
 
 RULES = ("rand", "raw-new", "float-eq", "include-cc", "cout", "header-self",
-         "file-doc", "metrics-doc")
+         "file-doc", "metrics-doc", "internal-include")
 
 FLOAT_LIT = r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)f?"
 
@@ -55,6 +64,7 @@ RE_STAT_CALL = re.compile(r"\.\s*(?:inc|set|observe)\s*\(")
 # Dotted stat-name literals: absolute ("mem.dram.reads") or relative to a
 # runtime prefix (".tex_l1.hits", as in prefix + ".tex_l1.hits").
 RE_STAT_NAME = re.compile(r'"(\.?[a-z0-9_]+(?:\.[a-z0-9_]+)+)"')
+RE_QUOTED_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 
 SOURCE_EXTS = (".cc", ".hh", ".h", ".cpp")
 
@@ -215,12 +225,41 @@ def check_file(root, rel, allow, violations, metrics_doc):
                          "docs/METRICS.md"))
 
 
+def check_internal_include(root, rel, allow, violations):
+    """examples/ and bench/ build against the facade only: every quoted
+    include must be a "pargpu/..." header (or bench's own bench_util.hh);
+    system headers use angle brackets and pass freely."""
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+    for lineno, raw in enumerate(raw_lines, start=1):
+        prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+        if ("internal-include", rel) in allow or \
+                "internal-include" in inline_allows(raw) | inline_allows(prev):
+            continue
+        m = RE_QUOTED_INCLUDE.search(raw)
+        if not m:
+            continue
+        inc = m.group(1)
+        if inc.startswith("pargpu/"):
+            continue
+        if rel.startswith("bench/") and inc == "bench_util.hh":
+            continue
+        violations.append(
+            (rel, lineno, "internal-include",
+             f'"{inc}" is src-internal; include the facade '
+             '("pargpu/...") instead'))
+
+
 def check_header_selfcontained(root, rel, compiler, std, allow, violations):
     if ("header-self", rel) in allow:
         return
-    snippet = f'#include "{rel.replace(os.sep, "/").removeprefix("src/")}"\n'
+    include_as = rel.replace(os.sep, "/")
+    include_as = include_as.removeprefix("src/").removeprefix("include/")
+    snippet = f'#include "{include_as}"\n'
     cmd = [compiler, f"-std={std}", "-fsyntax-only", "-x", "c++",
-           "-I", os.path.join(root, "src"), "-"]
+           "-I", os.path.join(root, "src"),
+           "-I", os.path.join(root, "include"), "-"]
     proc = subprocess.run(cmd, input=snippet, capture_output=True,
                           text=True, cwd=root)
     if proc.returncode != 0:
@@ -249,16 +288,22 @@ def main():
         root, "tools", "lint_allowlist.txt")
     allow = load_allowlist(allowlist_path)
 
-    sources = []
-    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
-        for name in sorted(filenames):
-            if name.endswith(SOURCE_EXTS):
-                rel = os.path.relpath(os.path.join(dirpath, name), root)
-                sources.append(rel.replace(os.sep, "/"))
-    sources.sort()
+    def walk_sources(top):
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(root, top)):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    found.append(rel.replace(os.sep, "/"))
+        found.sort()
+        return found
+
+    sources = walk_sources("src") + walk_sources("include")
     if not sources:
         print("lint: no sources found under src/", file=sys.stderr)
         return 2
+    # API consumers: only the internal-include rule applies.
+    consumers = walk_sources("examples") + walk_sources("bench")
 
     metrics_doc = None
     metrics_path = os.path.join(root, "docs", "METRICS.md")
@@ -269,6 +314,8 @@ def main():
     violations = []
     for rel in sources:
         check_file(root, rel, allow, violations, metrics_doc)
+    for rel in consumers:
+        check_internal_include(root, rel, allow, violations)
 
     if not args.no_spot_builds:
         headers = [s for s in sources if s.endswith((".hh", ".h"))]
@@ -278,7 +325,7 @@ def main():
 
     for rel, lineno, rule, msg in violations:
         print(f"{rel}:{lineno}: [{rule}] {msg}")
-    checked = len(sources)
+    checked = len(sources) + len(consumers)
     if violations:
         print(f"lint: {len(violations)} violation(s) in {checked} files")
         return 1
