@@ -6,12 +6,15 @@
 #   1. Release + contracts (-DPARGPU_CHECKS=ON) + -Werror, full ctest
 #   2. AddressSanitizer build, full ctest
 #   3. UndefinedBehaviorSanitizer build (no-recover), full ctest
-#   4. ThreadSanitizer build, threading-focused ctest subset
+#   4. ThreadSanitizer build, threading-focused ctest subset, run twice:
+#      as-is and again with PARGPU_TILE_PARALLEL=1 so the intra-frame
+#      tile-parallel fragment phase is exercised under TSAN
 #   5. -DPARGPU_TRACING=OFF build (macros compiled out), tracing subset
 #   6. pargpu-lint standalone (includes header self-containment builds)
 #   7. clang-tidy over src/ (skipped with a note when not installed)
-#   8. perf gate: perf_smoke's texel-bound export diffed against the
-#      committed baseline (bench/baselines/) with --fail-on-regress
+#   8. perf gate: perf_smoke's texel-bound export and perf_tile's
+#      tile-parallel export diffed against the committed baselines
+#      (bench/baselines/) with --fail-on-regress
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -63,6 +66,11 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test"
+# Second pass with tile parallelism forced on: every renderFrame() in the
+# subset fans its fragment phase out across clusters, so TSAN sees the
+# per-cluster sharding and the ordered commit pass.
+PARGPU_TILE_PARALLEL=1 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R "determinism_test|pipeline_test|integration_test"
 
 stage "5/8 tracing compiled out (-DPARGPU_TRACING=OFF)"
 cmake -B build-notrace -S . \
@@ -86,13 +94,14 @@ else
     echo "clang-tidy not installed; skipping (config committed in .clang-tidy)"
 fi
 
-stage "8/8 perf gate (texel hot path vs committed baseline)"
+stage "8/8 perf gate (texel hot path + tile parallelism vs committed baselines)"
 # Plain Release (contracts off) so wall-clock resembles production; the
-# gate itself is on the *simulated* metrics, which are deterministic —
-# wall-clock speedup in BENCH_texel.json is informational.
+# gates themselves are on the *simulated* metrics, which are
+# deterministic — wall-clock speedups in BENCH_texel.json and
+# BENCH_tile.json are informational (they depend on the core count).
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release \
     >build-perf.configure.log 2>&1 || { cat build-perf.configure.log >&2; exit 1; }
-cmake --build build-perf -j "$JOBS" --target perf_smoke
+cmake --build build-perf -j "$JOBS" --target perf_smoke perf_tile
 PERF_METRICS="$ROOT/build-perf/perf-metrics"
 mkdir -p "$PERF_METRICS"
 ( cd build-perf && PARGPU_FRAMES=2 PARGPU_METRICS_DIR="$PERF_METRICS" \
@@ -100,6 +109,11 @@ mkdir -p "$PERF_METRICS"
 python3 tools/pargpu_report.py \
     bench/baselines/perf_texel_HL2-640x512_baseline.json \
     "$PERF_METRICS/perf_texel_HL2-640x512_baseline.json" \
+    --fail-on-regress 0.01
+( cd build-perf && PARGPU_METRICS_DIR="$PERF_METRICS" ./bench/perf_tile )
+python3 tools/pargpu_report.py \
+    bench/baselines/perf_tile_HL2-1280x1024_baseline.json \
+    "$PERF_METRICS/perf_tile_HL2-1280x1024_baseline.json" \
     --fail-on-regress 0.01
 
 stage "all stages passed"

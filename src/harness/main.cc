@@ -17,7 +17,8 @@
  *                  [--run-threshold T] [--run-width W] [--run-height H]
  *                  [--run-frames N] [--run-tc-scale S] [--run-llc-scale S]
  *                  [--run-max-aniso A] [--run-table-entries E]
- *                  [--run-threads N]
+ *                  [--run-threads N] [--run-tile-parallel]
+ *                  [--run-clusters C]
  *                  [--run-reference baseline|noaf|n|ntxds|patu]
  *                  [--metrics-json FILE] [--metrics-csv FILE]
  *                  [--trace-out FILE] [--quiet]
@@ -103,6 +104,10 @@ usage()
         "  --run-tc-scale S --run-llc-scale S               cache scaling\n"
         "  --run-max-aniso A --run-table-entries E          PATU knobs\n"
         "  --run-threads N     frame-level parallelism (0 = default)\n"
+        "  --run-tile-parallel render tiles in parallel across clusters\n"
+        "                      (bit-identical; PARGPU_TILE_PARALLEL=1\n"
+        "                      forces it on)\n"
+        "  --run-clusters C    shader clusters (0 = Table I default)\n"
         "  --run-reference S   also render S, report MSSIM against it\n"
         "exports:\n"
         "  --metrics-json F    write the metrics document (schema v%d)\n"
@@ -190,6 +195,10 @@ parseArgs(int argc, char **argv)
                 std::atoi(need("--run-table-entries").c_str());
         } else if (a == "--run-threads") {
             o.run.threads = std::atoi(need("--run-threads").c_str());
+        } else if (a == "--run-tile-parallel") {
+            o.run.tile_parallel = true;
+        } else if (a == "--run-clusters") {
+            o.run.clusters = std::atoi(need("--run-clusters").c_str());
         } else if (a == "--run-reference") {
             o.have_reference = true;
             o.reference = parseScenario(need("--run-reference"));

@@ -1,5 +1,6 @@
 #include "harness/metrics.hh"
 
+#include <algorithm>
 #include <cstddef>
 #include <fstream>
 
@@ -215,6 +216,54 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
         reg.observe("frame.dram_bytes",
                     static_cast<double>(f.totalTraffic()));
     }
+
+    // Per-cluster shards of the fragment phase. Present for serial and
+    // tile-parallel runs alike (the static `tile % clusters` assignment
+    // is the same either way), so the imbalance of that assignment is
+    // always visible.
+    std::size_t n_clusters = 0;
+    for (const FrameStats &f : run.frames)
+        n_clusters = std::max(n_clusters, f.clusters.size());
+    if (n_clusters > 0) {
+        std::vector<ClusterStats> totals(n_clusters);
+        for (const FrameStats &f : run.frames) {
+            for (std::size_t c = 0; c < f.clusters.size(); ++c) {
+                totals[c].tiles += f.clusters[c].tiles;
+                totals[c].quads += f.clusters[c].quads;
+                totals[c].pixels += f.clusters[c].pixels;
+                totals[c].texels += f.clusters[c].texels;
+                totals[c].cycles += f.clusters[c].cycles;
+                totals[c].filter_busy += f.clusters[c].filter_busy;
+                totals[c].mem_stall += f.clusters[c].mem_stall;
+            }
+        }
+        reg.set("cluster.count", static_cast<double>(n_clusters));
+        Cycle max_cycles = 0;
+        double sum_cycles = 0.0;
+        for (std::size_t c = 0; c < n_clusters; ++c) {
+            const std::string p = "cluster." + std::to_string(c);
+            reg.inc(p + ".tiles", totals[c].tiles);
+            reg.inc(p + ".quads", totals[c].quads);
+            reg.inc(p + ".pixels", totals[c].pixels);
+            reg.inc(p + ".fragment_cycles", totals[c].cycles);
+            reg.inc(p + ".texunit.texels", totals[c].texels);
+            reg.inc(p + ".texunit.filter_cycles", totals[c].filter_busy);
+            reg.inc(p + ".texunit.mem_stall_cycles", totals[c].mem_stall);
+            max_cycles = std::max(max_cycles, totals[c].cycles);
+            sum_cycles += static_cast<double>(totals[c].cycles);
+        }
+        // Skew of the static tile assignment: slowest cluster over the
+        // mean (1.0 = perfectly balanced; the tile-parallel speedup
+        // ceiling is clusters / imbalance).
+        if (sum_cycles > 0.0)
+            reg.set("cluster.imbalance",
+                    static_cast<double>(max_cycles) *
+                        static_cast<double>(n_clusters) / sum_cycles);
+        for (const FrameStats &f : run.frames)
+            for (const ClusterStats &cs : f.clusters)
+                reg.observe("frame.tiles_per_cluster",
+                            static_cast<double>(cs.tiles));
+    }
 }
 
 Json
@@ -239,6 +288,8 @@ metricsJson(const RunMetadata &meta, const RunConfig &config,
     rj.set("max_aniso", Json{config.max_aniso});
     rj.set("table_entries", Json{config.table_entries});
     rj.set("threads", Json{config.threads});
+    rj.set("tile_parallel", Json{config.tile_parallel});
+    rj.set("clusters", Json{config.clusters});
     root.set("run", std::move(rj));
 
     Json agg = Json::object();

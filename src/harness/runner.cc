@@ -58,6 +58,8 @@ configErrorMessage(ConfigError error)
         return "table-entries must be in [0, 4096] (0 = default)";
     case ConfigError::BadThreads:
         return "threads must be in [0, 4096] (0 = default)";
+    case ConfigError::BadClusters:
+        return "clusters must be in [0, 64] (0 = default)";
     }
     return "invalid RunConfig";
 }
@@ -78,6 +80,8 @@ RunConfig::validate() const
         errors.push_back(ConfigError::BadTableEntries);
     if (threads < 0 || threads > 4096)
         errors.push_back(ConfigError::BadThreads);
+    if (clusters < 0 || clusters > 64)
+        errors.push_back(ConfigError::BadClusters);
     return errors;
 }
 
@@ -111,6 +115,9 @@ makeGpuConfig(const RunConfig &config)
     g.patu.max_aniso = config.max_aniso;
     if (config.table_entries > 0)
         g.patu.table_entries = config.table_entries;
+    if (config.clusters > 0)
+        g.clusters = static_cast<unsigned>(config.clusters);
+    g.tile_parallel = config.tile_parallel;
     return g;
 }
 

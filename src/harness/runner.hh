@@ -37,6 +37,7 @@ enum class ConfigError
     BadMaxAniso,     ///< max_aniso outside [1, 64].
     BadTableEntries, ///< table_entries negative or above 4096.
     BadThreads,      ///< threads negative or above 4096.
+    BadClusters,     ///< clusters negative or above 64.
 };
 
 /** Human-readable description of @p error (includes the legal range). */
@@ -54,6 +55,10 @@ struct RunConfig
     int table_entries = 0;    ///< PATU hash-table entries (0 = default).
     int threads = 0;          ///< Frame-level parallelism for runTrace():
                               ///< 0 = PARGPU_THREADS/default, 1 = serial.
+    bool tile_parallel = false; ///< Intra-frame tile parallelism across
+                                ///< clusters (GpuConfig::tile_parallel;
+                                ///< bit-identical to serial).
+    int clusters = 0;         ///< Shader clusters (0 = Table I default).
 
     /**
      * Check every field against its legal range and return the list of
@@ -65,7 +70,8 @@ struct RunConfig
      * Ranges: threshold in [0,1]; tc_scale/llc_scale a power of two >= 1
      * (the cache model requires a power-of-two set count); max_aniso in
      * [1,64]; table_entries in [0,4096] (0 = scenario default);
-     * threads in [0,4096] (0 = PARGPU_THREADS/default).
+     * threads in [0,4096] (0 = PARGPU_THREADS/default); clusters in
+     * [0,64] (0 = Table I default).
      */
     std::vector<ConfigError> validate() const;
 };

@@ -67,6 +67,56 @@ MemorySystem::readLines(unsigned cluster, std::span<const Addr> lines,
     return done;
 }
 
+Cycle
+MemorySystem::commitBatch(unsigned cluster,
+                          std::span<const Addr> miss_lines, Cycle now,
+                          bool any_line, TrafficClass cls)
+{
+    PARGPU_ASSERT(cluster < config_.clusters,
+                  "commit from unknown cluster ", cluster, " of ",
+                  config_.clusters);
+    // All-hit lines complete at now + L1 latency; misses re-enter the
+    // hierarchy below the L1 exactly as read() would after its L1 lookup.
+    Cycle done = any_line ? now + config_.latencies.l1_hit : now;
+    const Cycle miss_issue = now + config_.latencies.l1_hit;
+    for (Addr addr : miss_lines) {
+        Cycle complete;
+        if (llc_->access(addr)) {
+            complete = miss_issue + config_.latencies.l2_hit;
+        } else {
+            DramResult r = dram_->read(
+                addr, miss_issue + config_.latencies.l2_hit, cluster);
+            traffic_[static_cast<int>(cls)] += config_.line_bytes;
+            complete = r.complete;
+        }
+        done = std::max(done, complete);
+    }
+    return done;
+}
+
+ClusterMemFront::ClusterMemFront(MemorySystem &mem, unsigned cluster)
+    : mem_(&mem), cluster_(cluster)
+{
+    PARGPU_ASSERT(cluster < mem.config().clusters,
+                  "front for unknown cluster ", cluster, " of ",
+                  mem.config().clusters);
+}
+
+ClusterMemFront::Batch
+ClusterMemFront::stageLines(std::span<const Addr> lines)
+{
+    Batch b;
+    b.any_line = !lines.empty();
+    b.miss_begin = static_cast<std::uint32_t>(miss_lines_.size());
+    SetAssocCache &l1 = *mem_->tex_l1_[cluster_];
+    for (Addr line : lines) {
+        if (!l1.access(line))
+            miss_lines_.push_back(line);
+    }
+    b.miss_end = static_cast<std::uint32_t>(miss_lines_.size());
+    return b;
+}
+
 void
 MemorySystem::write(Addr addr, Bytes bytes, Cycle now, TrafficClass cls)
 {

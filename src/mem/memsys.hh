@@ -90,6 +90,23 @@ class MemorySystem
     /** Bandwidth-only write (framebuffer flush, etc.). */
     void write(Addr addr, Bytes bytes, Cycle now, TrafficClass cls);
 
+    /**
+     * Tile-parallel commit pass: replay the L1-miss lines one deferred
+     * quad staged through a ClusterMemFront against the shared LLC and
+     * DRAM, in the caller-chosen (canonical) order.
+     *
+     * @p miss_lines is the quad's slice of the front's miss log — the
+     * lines that missed the cluster's L1 during the parallel pass.
+     * @p any_line says whether the quad issued any line at all: a quad
+     * whose lines all hit the L1 still completes at now + the L1 hit
+     * latency. Given that the L1 lookups already happened (with the
+     * identical per-cluster access order the serial path produces), the
+     * return value equals what readLines() would have returned for the
+     * quad's full line list at @p now.
+     */
+    Cycle commitBatch(unsigned cluster, std::span<const Addr> miss_lines,
+                      Cycle now, bool any_line, TrafficClass cls);
+
     /** Reset caches, DRAM state and traffic tallies for a fresh run. */
     void reset();
 
@@ -109,11 +126,60 @@ class MemorySystem
     void exportStats(StatRegistry &stats, const std::string &prefix) const;
 
   private:
+    friend class ClusterMemFront;
+
     MemSysConfig config_;
     std::vector<std::unique_ptr<SetAssocCache>> tex_l1_;
     std::unique_ptr<SetAssocCache> llc_;
     std::unique_ptr<DramModel> dram_;
     Bytes traffic_[3] = {0, 0, 0};
+};
+
+/**
+ * One cluster's private view of the memory system during tile-parallel
+ * execution.
+ *
+ * The texture L1 is per-cluster already, so a front may probe it from the
+ * cluster's worker thread without synchronization — provided the cluster
+ * issues the same line sequence it would have issued serially (the tile
+ * loop's static `% clusters` assignment guarantees that). Lines that miss
+ * are appended to a log instead of touching the shared LLC/DRAM; the
+ * serial commit pass replays the log in canonical tile order through
+ * MemorySystem::commitBatch(), which reproduces the exact serial LLC and
+ * DRAM state, counters and completion cycles.
+ */
+class ClusterMemFront
+{
+  public:
+    ClusterMemFront(MemorySystem &mem, unsigned cluster);
+
+    /** One staged quad: a slice of the miss log. */
+    struct Batch
+    {
+        std::uint32_t miss_begin = 0; ///< First miss-log index.
+        std::uint32_t miss_end = 0;   ///< One past the last index.
+        bool any_line = false;        ///< Quad issued at least one line.
+    };
+
+    /**
+     * Parallel pass: probe the cluster's L1 for each distinct line of a
+     * quad (updating the L1 exactly as a timed read would) and log the
+     * misses for the later commit pass.
+     */
+    Batch stageLines(std::span<const Addr> lines);
+
+    /** Miss log indexed by the Batch ranges stageLines() returned. */
+    const std::vector<Addr> &missLines() const { return miss_lines_; }
+
+    unsigned cluster() const { return cluster_; }
+
+    /** Drop the miss log (after the commit pass consumed it). */
+    void clear() { miss_lines_.clear(); }
+
+  private:
+    MemorySystem *mem_;
+    unsigned cluster_;
+    std::vector<Addr> miss_lines_;
 };
 
 } // namespace pargpu

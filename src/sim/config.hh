@@ -65,6 +65,17 @@ struct GpuConfig
      */
     Cycle mem_overlap_credit = 320;
 
+    /**
+     * Render each frame's fragment phase tile-parallel across clusters:
+     * pass A runs the clusters' statically assigned tiles concurrently
+     * on the shared thread pool (per-cluster texture unit, L1 and stats;
+     * L1 misses logged), pass B replays the logged misses serially in
+     * canonical tile order so shared LLC/DRAM state, counters and cycle
+     * timing stay bit-identical to the serial path. Off by default;
+     * PARGPU_TILE_PARALLEL=1 forces it on process-wide.
+     */
+    bool tile_parallel = false;
+
     // --- Subsystem configurations --------------------------------------
     MemSysConfig mem;   ///< Caches + DRAM (Table I defaults).
     PatuConfig patu;    ///< Design scenario + threshold.

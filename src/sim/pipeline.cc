@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <span>
 
 #include "common/contract.hh"
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "common/tracing.hh"
 #include "sim/framebuffer.hh"
 #include "sim/raster.hh"
@@ -17,6 +20,71 @@ namespace
 
 /** Fixed directional light used for flat face shading. */
 const Vec3 kLightDir = Vec3{0.4f, 0.8f, 0.45f}.normalized();
+
+/**
+ * PARGPU_TILE_PARALLEL=1 forces intra-frame tile parallelism on for
+ * every simulator in the process, regardless of
+ * GpuConfig::tile_parallel. This is the hook scripts/check.sh's TSAN
+ * stage uses to run the whole threading-focused test subset with the
+ * sharded fragment phase enabled, without touching each test's
+ * configuration. Results are bit-identical either way.
+ */
+bool
+tileParallelForced()
+{
+    static const bool forced = [] {
+        const char *v = std::getenv("PARGPU_TILE_PARALLEL");
+        return v != nullptr && v[0] == '1';
+    }();
+    return forced;
+}
+
+/**
+ * Pass-A record of one surviving quad under tile-parallel execution.
+ * pre_cycles carries the rasterizer cost accumulated since the previous
+ * surviving quad (killed quads included), so the commit pass can
+ * reconstruct the exact serial issue cycle without revisiting them.
+ */
+struct QuadLog
+{
+    Cycle pre_cycles = 0;         ///< Raster cycles up to and incl. self.
+    Cycle work = 0;               ///< TU address + filter cycles.
+    std::uint32_t miss_begin = 0; ///< L1-miss slice in the cluster front.
+    std::uint32_t miss_end = 0;
+    bool any_line = false;
+};
+
+/** Pass-A record of one non-empty tile. */
+struct TileLog
+{
+    std::size_t index = 0;         ///< Linear tile index (row-major).
+    std::uint32_t quad_begin = 0;  ///< Range into ClusterLog::quads.
+    std::uint32_t quad_end = 0;
+    Cycle tail_cycles = 0;         ///< Raster cycles after the last
+                                   ///< surviving quad.
+    std::uint64_t pixels = 0;      ///< Pixels written (flush size).
+    Addr flush_addr = 0;           ///< Tile-origin framebuffer address.
+};
+
+/** Everything one cluster produces during pass A of a draw call. */
+struct ClusterLog
+{
+    std::vector<QuadLog> quads;
+    std::vector<TileLog> tiles;
+    std::uint64_t earlyz_tested = 0;
+    std::uint64_t earlyz_killed = 0;
+    Cycle shader_busy = 0;
+
+    void
+    clearDraw()
+    {
+        quads.clear();
+        tiles.clear();
+        earlyz_tested = 0;
+        earlyz_killed = 0;
+        shader_busy = 0;
+    }
+};
 
 /** Per-face lighting factor from the world-space normal. */
 float
@@ -82,7 +150,63 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         config_.clusters * config_.shaders_per_cluster;
 
     std::vector<Cycle> cluster_cycles(config_.clusters, 0);
+    std::vector<std::uint64_t> tiles_per_cluster(config_.clusters, 0);
     Cycle geometry_cycles = 0;
+
+    // Early depth test over a quad's covered pixels; returns the
+    // surviving coverage mask. The tested/killed counters are passed in
+    // so the tile-parallel path can shard them per cluster.
+    auto depthTestQuad = [&fb](QuadFragment &q, std::uint64_t &tested,
+                               std::uint64_t &killed) -> unsigned {
+        unsigned surv = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (!(q.coverage & (1u << i)))
+                continue;
+            int px = q.x + (i & 1);
+            int py = q.y + (i >> 1);
+            ++tested;
+            if (fb.depthTest(px, py, q.depth[i]))
+                surv |= 1u << i;
+            else
+                ++killed;
+        }
+        return surv;
+    };
+
+    // Shade one surviving pixel from its filtered texture color and
+    // write it to the framebuffer.
+    auto writeShadedPixel = [&fb](const SetupTriangle &st,
+                                  const QuadFragment &q, int i,
+                                  const Color4f &texc) {
+        int px = q.x + (i & 1);
+        int py = q.y + (i >> 1);
+        Color4f c = texc * st.shade;
+        if (st.specular) {
+            // Glint: steep nonlinear response to the filtered luma
+            // (ripple/gloss highlights). The threshold sits above the
+            // texture mean, so only sharply-filtered peaks fire — mip
+            // blur pushes the luma below it and the effect disappears
+            // (Fig. 8's lost water rippling).
+            float l = texc.luma();
+            float g = std::clamp((l - 0.70f) / 0.08f, 0.0f, 1.0f);
+            g = g * g * (3.0f - 2.0f * g);
+            c += Color4f{0.95f, 0.95f, 0.85f, 0} * (0.9f * g);
+        }
+        c.a = 1.0f;
+        fb.writeColor(px, py, c.clamped());
+    };
+
+    // Tile-parallel state: per-cluster pass-A logs and memory fronts,
+    // reused across draws (cleared after each draw's commit pass).
+    const bool tile_par = config_.tile_parallel || tileParallelForced();
+    std::vector<ClusterLog> logs;
+    std::vector<ClusterMemFront> fronts;
+    if (tile_par) {
+        logs.resize(config_.clusters);
+        fronts.reserve(config_.clusters);
+        for (unsigned c = 0; c < config_.clusters; ++c)
+            fronts.emplace_back(*mem_, c);
+    }
 
     // Scratch bins: triangle indices per tile, rebuilt per draw call so
     // draw order (and therefore depth-test order) is preserved.
@@ -153,6 +277,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
 
         // --- Fragment phase ----------------------------------------------
         PARGPU_TRACE_SCOPE("sim", "fragment");
+        if (!tile_par) {
         for (int ty = 0; ty < tiles_y; ++ty) {
             for (int tx = 0; tx < tiles_x; ++tx) {
                 const auto &bin =
@@ -163,6 +288,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                     config_.clusters;
                 Cycle &cc = cluster_cycles[cl];
                 TextureUnit &tu = *tus_[cl];
+                ++tiles_per_cluster[cl];
 
                 int px0 = tx * static_cast<int>(tile);
                 int py0 = ty * static_cast<int>(tile);
@@ -186,18 +312,8 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                         [&](const QuadFragment &quad) {
                             // Early depth test per covered pixel.
                             QuadFragment q = quad;
-                            unsigned surv = 0;
-                            for (int i = 0; i < 4; ++i) {
-                                if (!(q.coverage & (1u << i)))
-                                    continue;
-                                int px = q.x + (i & 1);
-                                int py = q.y + (i >> 1);
-                                ++fs.earlyz_tested;
-                                if (fb.depthTest(px, py, q.depth[i]))
-                                    surv |= 1u << i;
-                                else
-                                    ++fs.earlyz_killed;
-                            }
+                            unsigned surv = depthTestQuad(
+                                q, fs.earlyz_tested, fs.earlyz_killed);
                             cc += config_.raster_quad_cycles;
                             if (surv == 0)
                                 return;
@@ -220,27 +336,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                             for (int i = 0; i < 4; ++i) {
                                 if (!(surv & (1u << i)))
                                     continue;
-                                int px = q.x + (i & 1);
-                                int py = q.y + (i >> 1);
-                                Color4f c = qr.color[i] * st.shade;
-                                if (st.specular) {
-                                    // Glint: steep nonlinear response to
-                                    // the filtered luma (ripple/gloss
-                                    // highlights). The threshold sits
-                                    // above the texture mean, so only
-                                    // sharply-filtered peaks fire — mip
-                                    // blur pushes the luma below it and
-                                    // the effect disappears (Fig. 8's
-                                    // lost water rippling).
-                                    float l = qr.color[i].luma();
-                                    float g = std::clamp(
-                                        (l - 0.70f) / 0.08f, 0.0f, 1.0f);
-                                    g = g * g * (3.0f - 2.0f * g);
-                                    c += Color4f{0.95f, 0.95f, 0.85f, 0}
-                                        * (0.9f * g);
-                                }
-                                c.a = 1.0f;
-                                fb.writeColor(px, py, c.clamped());
+                                writeShadedPixel(st, q, i, qr.color[i]);
                                 ++tile_pixels;
                             }
                         });
@@ -251,6 +347,170 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                     mem_->write(fb.pixelAddr(px0, py0), tile_pixels * 4,
                                 cc, TrafficClass::ColorDepth);
                 }
+            }
+        }
+        } else {
+            // Two-phase tile-parallel execution (docs/ARCHITECTURE.md,
+            // "Threading model").
+            //
+            // Pass A — parallel: each cluster walks its statically
+            // assigned tiles (linear index % clusters, the serial path's
+            // assignment) in row-major order, doing rasterization,
+            // early-Z, filtering arithmetic and its own L1 lookups.
+            // Tiles are pixel-disjoint and every mutable structure here
+            // is per-cluster (texture unit, L1, log, stats shard), so
+            // the pass is race-free, and each cluster's L1 access stream
+            // is exactly the serial one. Shared LLC/DRAM are not touched:
+            // L1 misses land in the cluster front's log instead.
+            const std::size_t n_tiles = bins.size();
+            ThreadPool::run(config_.clusters, 1, [&](std::size_t c) {
+                PARGPU_TRACE_SCOPE_F("sim", "cluster", c);
+                ClusterLog &log = logs[c];
+                ClusterMemFront &front = fronts[c];
+                TextureUnit &tu = *tus_[c];
+                for (std::size_t t = c; t < n_tiles;
+                     t += config_.clusters) {
+                    const auto &bin = bins[t];
+                    if (bin.empty())
+                        continue;
+                    const int ty = static_cast<int>(t) / tiles_x;
+                    const int tx = static_cast<int>(t) % tiles_x;
+                    int px0 = tx * static_cast<int>(tile);
+                    int py0 = ty * static_cast<int>(tile);
+                    int px1 = std::min(width - 1,
+                                       px0 + static_cast<int>(tile) - 1);
+                    int py1 = std::min(height - 1,
+                                       py0 + static_cast<int>(tile) - 1);
+
+                    TileLog tl;
+                    tl.index = t;
+                    tl.quad_begin =
+                        static_cast<std::uint32_t>(log.quads.size());
+                    tl.flush_addr = fb.pixelAddr(px0, py0);
+                    Cycle pending = 0;
+                    std::uint64_t tile_pixels = 0;
+
+                    for (std::uint32_t ti : bin) {
+                        const SetupTriangle &st = tris[ti];
+                        int wx0 = std::max(px0, st.min_x);
+                        int wy0 = std::max(py0, st.min_y);
+                        int wx1 = std::min(px1, st.max_x);
+                        int wy1 = std::min(py1, st.max_y);
+                        if (wx0 > wx1 || wy0 > wy1)
+                            continue;
+
+                        rasterizeTriangle(st, wx0, wy0, wx1, wy1,
+                            [&](const QuadFragment &quad) {
+                                QuadFragment q = quad;
+                                unsigned surv = depthTestQuad(
+                                    q, log.earlyz_tested,
+                                    log.earlyz_killed);
+                                pending += config_.raster_quad_cycles;
+                                if (surv == 0)
+                                    return;
+                                q.coverage = surv;
+
+                                DeferredQuadResult dq =
+                                    tu.processQuadDeferred(q, tex,
+                                                           st.filter,
+                                                           front);
+                                QuadLog ql;
+                                ql.pre_cycles = pending;
+                                ql.work = dq.work;
+                                ql.miss_begin = dq.miss_begin;
+                                ql.miss_end = dq.miss_end;
+                                ql.any_line = dq.any_line;
+                                log.quads.push_back(ql);
+                                pending = 0;
+                                log.shader_busy +=
+                                    config_.frag_quad_cycles;
+
+                                for (int i = 0; i < 4; ++i) {
+                                    if (!(surv & (1u << i)))
+                                        continue;
+                                    writeShadedPixel(st, q, i,
+                                                     dq.color[i]);
+                                    ++tile_pixels;
+                                }
+                            });
+                    }
+
+                    tl.quad_end =
+                        static_cast<std::uint32_t>(log.quads.size());
+                    tl.tail_cycles = pending;
+                    tl.pixels = tile_pixels;
+                    log.tiles.push_back(tl);
+                }
+            });
+
+            // Pass B — serial commit: replay every logged quad in
+            // canonical row-major tile order against the shared LLC and
+            // DRAM. The cluster cycle recurrence below is the serial
+            // loop's, so each quad's reconstructed issue cycle, stall
+            // and tile-flush cycle are exactly the values the serial
+            // path would have used — which makes every cache, DRAM and
+            // timing counter bit-identical.
+            PARGPU_TRACE_SCOPE("sim", "commit");
+            std::vector<std::size_t> cursor(config_.clusters, 0);
+            for (std::size_t t = 0; t < n_tiles; ++t) {
+                if (bins[t].empty())
+                    continue;
+                const unsigned cl =
+                    static_cast<unsigned>(t) % config_.clusters;
+                ClusterLog &log = logs[cl];
+                PARGPU_INVARIANT(cursor[cl] < log.tiles.size() &&
+                                     log.tiles[cursor[cl]].index == t,
+                                 "tile log out of order at tile ", t);
+                const TileLog &tl = log.tiles[cursor[cl]++];
+                Cycle &cc = cluster_cycles[cl];
+                TextureUnit &tu = *tus_[cl];
+                const std::vector<Addr> &miss = fronts[cl].missLines();
+
+                for (std::uint32_t qi = tl.quad_begin; qi < tl.quad_end;
+                     ++qi) {
+                    const QuadLog &ql = log.quads[qi];
+                    cc += ql.pre_cycles;
+                    const Cycle now = cc;
+                    Cycle fetch_done = mem_->commitBatch(
+                        cl,
+                        std::span<const Addr>(miss).subspan(
+                            ql.miss_begin, ql.miss_end - ql.miss_begin),
+                        now, ql.any_line, TrafficClass::Texture);
+                    PARGPU_INVARIANT(fetch_done >= now,
+                                     "memory time ran backwards: now=",
+                                     now, " done=", fetch_done);
+                    Cycle raw_latency = fetch_done - now;
+                    Cycle stall =
+                        raw_latency > config_.mem_overlap_credit
+                        ? raw_latency - config_.mem_overlap_credit : 0;
+                    tu.accountDeferredStall(stall);
+
+                    const Cycle busy = ql.work + stall;
+                    const Cycle shader_c = config_.frag_quad_cycles;
+                    const Cycle lo = std::min(shader_c, busy);
+                    const Cycle hi = std::max(shader_c, busy);
+                    cc += hi + static_cast<Cycle>(
+                        (1.0 - config_.tex_overlap) *
+                        static_cast<double>(lo));
+                }
+
+                cc += tl.tail_cycles;
+                if (tl.pixels > 0) {
+                    mem_->write(tl.flush_addr, tl.pixels * 4, cc,
+                                TrafficClass::ColorDepth);
+                }
+            }
+
+            // Fold the per-cluster shards (fixed cluster order, so the
+            // sums match the serial accumulation) and reset the per-draw
+            // logs.
+            for (unsigned c = 0; c < config_.clusters; ++c) {
+                fs.earlyz_tested += logs[c].earlyz_tested;
+                fs.earlyz_killed += logs[c].earlyz_killed;
+                fs.shader_busy_cycles += logs[c].shader_busy;
+                tiles_per_cluster[c] += logs[c].tiles.size();
+                logs[c].clearDraw();
+                fronts[c].clear();
             }
         }
     }
@@ -284,6 +544,22 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         fs.shared_samples += ts.shared_samples;
         fs.divergent_quads += ts.divergent_quads;
         fs.af_quads += ts.af_quads;
+    }
+
+    // Per-cluster shards: identical between the serial and tile-parallel
+    // paths (same static tile assignment, same per-cluster texture
+    // units), so the cluster.* metrics never depend on execution mode.
+    fs.clusters.resize(config_.clusters);
+    for (unsigned c = 0; c < config_.clusters; ++c) {
+        ClusterStats &cs = fs.clusters[c];
+        const TexUnitStats &ts = tus_[c]->stats();
+        cs.tiles = tiles_per_cluster[c];
+        cs.quads = ts.quads;
+        cs.pixels = ts.pixels;
+        cs.texels = ts.texels;
+        cs.cycles = cluster_cycles[c];
+        cs.filter_busy = ts.filter_busy;
+        cs.mem_stall = ts.mem_stall;
     }
 
     fs.traffic_texture = mem_->trafficBytes(TrafficClass::Texture);

@@ -29,6 +29,23 @@
 namespace pargpu
 {
 
+/**
+ * One cluster's shard of a frame's fragment-phase work. Filled by both
+ * the serial and the tile-parallel path (the static `tile % clusters`
+ * assignment is the same either way), so the per-cluster metrics and the
+ * imbalance scalar are comparable across execution modes.
+ */
+struct ClusterStats
+{
+    std::uint64_t tiles = 0;  ///< Non-empty tiles processed (per draw).
+    std::uint64_t quads = 0;  ///< Quads filtered by this cluster's TU.
+    std::uint64_t pixels = 0; ///< Pixels filtered.
+    std::uint64_t texels = 0; ///< Texels requested.
+    Cycle cycles = 0;         ///< Cluster cycle counter at frame end.
+    Cycle filter_busy = 0;    ///< TU busy cycles.
+    Cycle mem_stall = 0;      ///< TU exposed texel-fetch stall.
+};
+
 /** Aggregated per-frame measurements. */
 struct FrameStats
 {
@@ -74,6 +91,9 @@ struct FrameStats
     std::uint64_t l1_hits = 0, l1_misses = 0;
     std::uint64_t llc_hits = 0, llc_misses = 0;
     std::uint64_t dram_reads = 0, dram_row_hits = 0;
+
+    // --- Per-cluster shards ----------------------------------------------
+    std::vector<ClusterStats> clusters; ///< One entry per shader cluster.
 
     /** Frames per second at @p freq_ghz, from total_cycles. */
     double

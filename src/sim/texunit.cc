@@ -70,11 +70,11 @@ TextureUnit::queueSample(const TrilinearSample &s)
     ++stats_.trilinear_samples;
 }
 
-QuadFilterResult
-TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
-                         FilterMode mode, Cycle now)
+Cycle
+TextureUnit::processQuadWork(const QuadFragment &quad,
+                             const TextureMap &tex, FilterMode mode,
+                             Color4f out_color[4])
 {
-    QuadFilterResult result;
     ++stats_.quads;
 
     TextureSampler sampler(tex);
@@ -201,18 +201,9 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
         }
     }
 
-    // One batched memory-system call for every distinct line the quad
-    // touched, in first-touch order: a single tag lookup per line. All
-    // sample fetches of a quad issue at the same cycle (as in the seed),
-    // so the furthest completion is the max over the distinct lines.
-    Cycle fetch_done = mem_->readLines(cluster_, lines_.order(), now,
-                                       TrafficClass::Texture);
     stats_.lines += lines_.order().size();
     stats_.memo_lookups += memo_.lookups();
     stats_.memo_hits += memo_.hits();
-    PARGPU_INVARIANT(fetch_done >= now,
-                     "memory time ran backwards: now=", now,
-                     " done=", fetch_done);
 
     // --- Timing -----------------------------------------------------
     // Address ALUs: 8 addresses per trilinear sample over addr_alus ALUs
@@ -232,14 +223,6 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
             static_cast<std::uint64_t>(plan.addr_samples) * 8;
     }
 
-    // Fetch latency beyond the TU's in-flight window stalls the pipeline.
-    Cycle raw_latency = fetch_done - now;
-    Cycle stall = raw_latency > config_.mem_overlap_credit
-        ? raw_latency - config_.mem_overlap_credit : 0;
-    stats_.mem_stall += stall;
-
-    Cycle busy = addr_cycles + filter_cycles + stall;
-
     // Divergence accounting (Section V-C(1)).
     if (any_af_pixel) {
         ++stats_.af_quads;
@@ -257,10 +240,59 @@ TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
         }
     }
 
-    stats_.filter_busy += busy;
-    result.busy = busy;
     for (int i = 0; i < 4; ++i)
-        result.color[i] = plans[i].color;
+        out_color[i] = plans[i].color;
+    return addr_cycles + filter_cycles;
+}
+
+QuadFilterResult
+TextureUnit::processQuad(const QuadFragment &quad, const TextureMap &tex,
+                         FilterMode mode, Cycle now)
+{
+    QuadFilterResult result;
+    Cycle work = processQuadWork(quad, tex, mode, result.color);
+
+    // One batched memory-system call for every distinct line the quad
+    // touched, in first-touch order: a single tag lookup per line. All
+    // sample fetches of a quad issue at the same cycle (as in the seed),
+    // so the furthest completion is the max over the distinct lines.
+    Cycle fetch_done = mem_->readLines(cluster_, lines_.order(), now,
+                                       TrafficClass::Texture);
+    PARGPU_INVARIANT(fetch_done >= now,
+                     "memory time ran backwards: now=", now,
+                     " done=", fetch_done);
+
+    // Fetch latency beyond the TU's in-flight window stalls the pipeline.
+    Cycle raw_latency = fetch_done - now;
+    Cycle stall = raw_latency > config_.mem_overlap_credit
+        ? raw_latency - config_.mem_overlap_credit : 0;
+    stats_.mem_stall += stall;
+
+    result.busy = work + stall;
+    stats_.filter_busy += result.busy;
+    return result;
+}
+
+DeferredQuadResult
+TextureUnit::processQuadDeferred(const QuadFragment &quad,
+                                 const TextureMap &tex, FilterMode mode,
+                                 ClusterMemFront &front)
+{
+    PARGPU_ASSERT(front.cluster() == cluster_,
+                  "front/cluster mismatch: ", front.cluster(), " vs ",
+                  cluster_);
+    DeferredQuadResult result;
+    result.work = processQuadWork(quad, tex, mode, result.color);
+
+    // Same per-cluster L1 lookups and first-touch line order as the
+    // serial path; only the shared-level walk is deferred to the commit
+    // pass. The stall part of filter_busy lands in
+    // accountDeferredStall() once that pass resolves the fetch time.
+    ClusterMemFront::Batch b = front.stageLines(lines_.order());
+    result.miss_begin = b.miss_begin;
+    result.miss_end = b.miss_end;
+    result.any_line = b.any_line;
+    stats_.filter_busy += result.work;
     return result;
 }
 

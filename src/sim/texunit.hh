@@ -68,6 +68,22 @@ struct QuadFilterResult
 };
 
 /**
+ * Result of the timing-independent part of one quad under tile-parallel
+ * execution. Colors and ALU cycles are final; the memory stall is
+ * resolved later by the serial commit pass, which replays the staged
+ * L1-miss lines through MemorySystem::commitBatch() and completes the
+ * accounting via TextureUnit::accountDeferredStall().
+ */
+struct DeferredQuadResult
+{
+    Color4f color[4];             ///< Filtered texture color per pixel.
+    Cycle work = 0;               ///< Address + filter cycles (no stall).
+    std::uint32_t miss_begin = 0; ///< L1-miss range in the front's log.
+    std::uint32_t miss_end = 0;
+    bool any_line = false;        ///< Quad touched at least one line.
+};
+
+/**
  * One texture unit instance (one per shader cluster). Holds the PATU
  * decision pipelines and issues timed reads into the memory system.
  */
@@ -94,6 +110,27 @@ class TextureUnit
     QuadFilterResult processQuad(const QuadFragment &quad,
                                  const TextureMap &tex, FilterMode mode,
                                  Cycle now);
+
+    /**
+     * Tile-parallel variant of processQuad(): identical filtering math
+     * and per-cluster L1 behavior, but instead of walking the shared
+     * LLC/DRAM it stages the quad's L1 misses into @p front. The caller
+     * replays them in canonical order (MemorySystem::commitBatch) and
+     * reports the resolved stall via accountDeferredStall(); after that
+     * the unit's stats equal what processQuad() would have recorded.
+     */
+    DeferredQuadResult processQuadDeferred(const QuadFragment &quad,
+                                           const TextureMap &tex,
+                                           FilterMode mode,
+                                           ClusterMemFront &front);
+
+    /** Commit-pass completion of a deferred quad's stall accounting. */
+    void
+    accountDeferredStall(Cycle stall)
+    {
+        stats_.mem_stall += stall;
+        stats_.filter_busy += stall;
+    }
 
     const TexUnitStats &stats() const { return stats_; }
 
@@ -145,6 +182,16 @@ class TextureUnit
 
     /** Record a sample's lines into the quad batch (no memory access). */
     void queueSample(const TrilinearSample &s);
+
+    /**
+     * Everything about a quad that does not depend on memory timing:
+     * filtering decisions, colors, line collection (left in lines_) and
+     * all counters except mem_stall/filter_busy. Returns the quad's
+     * address + filter cycles; both public entry points layer their
+     * memory handling on top of this.
+     */
+    Cycle processQuadWork(const QuadFragment &quad, const TextureMap &tex,
+                          FilterMode mode, Color4f out_color[4]);
 
     GpuConfig config_;
     unsigned cluster_;

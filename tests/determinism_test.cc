@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/stats.hh"
 #include "common/threadpool.hh"
+#include "harness/metrics.hh"
 #include "harness/runner.hh"
 
 using namespace pargpu;
@@ -30,12 +32,17 @@ expectStatsEqual(const FrameStats &a, const FrameStats &b)
     PARGPU_EQ(shader_busy_cycles);
     PARGPU_EQ(triangles_in);
     PARGPU_EQ(triangles_setup);
+    PARGPU_EQ(earlyz_tested);
+    PARGPU_EQ(earlyz_killed);
     PARGPU_EQ(quads);
     PARGPU_EQ(pixels_shaded);
     PARGPU_EQ(trilinear_samples);
     PARGPU_EQ(texels);
     PARGPU_EQ(addr_ops);
     PARGPU_EQ(table_accesses);
+    PARGPU_EQ(tex_lines);
+    PARGPU_EQ(memo_lookups);
+    PARGPU_EQ(memo_hits);
     PARGPU_EQ(af_candidate_pixels);
     PARGPU_EQ(approx_stage1);
     PARGPU_EQ(approx_stage2);
@@ -55,6 +62,20 @@ expectStatsEqual(const FrameStats &a, const FrameStats &b)
     PARGPU_EQ(dram_reads);
     PARGPU_EQ(dram_row_hits);
 #undef PARGPU_EQ
+    ASSERT_EQ(a.clusters.size(), b.clusters.size());
+    for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+#define PARGPU_CEQ(field) \
+    EXPECT_EQ(a.clusters[c].field, b.clusters[c].field) \
+        << "cluster " << c << " " << #field
+        PARGPU_CEQ(tiles);
+        PARGPU_CEQ(quads);
+        PARGPU_CEQ(pixels);
+        PARGPU_CEQ(texels);
+        PARGPU_CEQ(cycles);
+        PARGPU_CEQ(filter_busy);
+        PARGPU_CEQ(mem_stall);
+#undef PARGPU_CEQ
+    }
 }
 
 void
@@ -150,6 +171,115 @@ TEST(Determinism, RunSweepMatchesRunTrace)
         serial.threads = 1;
         expectRunsEqual(runTrace(trace, serial), sweep[i]);
     }
+}
+
+// --- Intra-frame tile parallelism ------------------------------------
+// The tile-parallel fragment phase must be bit-identical to the serial
+// one: same frames, same FrameStats (including the per-cluster shards),
+// same aggregates — at every worker count, alone and composed with
+// frame-level parallelism.
+
+TEST(Determinism, TileParallelMatchesSerialPatu)
+{
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Patu;
+    serial_cfg.threshold = 0.4f;
+    serial_cfg.threads = 1;
+    RunResult ref = runTrace(trace, serial_cfg);
+
+    RunConfig tile_cfg = serial_cfg;
+    tile_cfg.tile_parallel = true;
+    for (unsigned workers : {1u, 3u, 8u}) {
+        ThreadPool::setDefaultThreads(workers);
+        expectRunsEqual(ref, runTrace(trace, tile_cfg));
+    }
+    ThreadPool::setDefaultThreads(0);
+}
+
+TEST(Determinism, TileParallelMatchesSerialBaseline)
+{
+    // Baseline 16xAF: the texel-bound extreme, every pixel through the
+    // full AF path (maximum memory-system pressure on the commit pass).
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Baseline;
+    serial_cfg.threads = 1;
+    RunResult ref = runTrace(trace, serial_cfg);
+
+    RunConfig tile_cfg = serial_cfg;
+    tile_cfg.tile_parallel = true;
+    for (unsigned workers : {1u, 3u, 8u}) {
+        ThreadPool::setDefaultThreads(workers);
+        expectRunsEqual(ref, runTrace(trace, tile_cfg));
+    }
+    ThreadPool::setDefaultThreads(0);
+}
+
+TEST(Determinism, FrameParallelTimesTileParallel)
+{
+    // Both levels on at once: frames partitioned across the pool, each
+    // frame's tiles fanned out again (the nested submit runs inline on
+    // the worker — one shared pool, no oversubscription).
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Patu;
+    serial_cfg.threshold = 0.4f;
+    serial_cfg.threads = 1;
+    RunResult ref = runTrace(trace, serial_cfg);
+
+    RunConfig both_cfg = serial_cfg;
+    both_cfg.tile_parallel = true;
+    for (int threads : {2, 3, 8}) {
+        both_cfg.threads = threads;
+        ThreadPool::setDefaultThreads(8);
+        expectRunsEqual(ref, runTrace(trace, both_cfg));
+    }
+    ThreadPool::setDefaultThreads(0);
+}
+
+TEST(Determinism, TileParallelOddClusterCount)
+{
+    // A cluster count that does not divide the tile count exercises the
+    // tail of the static % clusters assignment.
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Patu;
+    serial_cfg.threads = 1;
+    serial_cfg.clusters = 3;
+    RunResult ref = runTrace(trace, serial_cfg);
+
+    RunConfig tile_cfg = serial_cfg;
+    tile_cfg.tile_parallel = true;
+    ThreadPool::setDefaultThreads(3);
+    expectRunsEqual(ref, runTrace(trace, tile_cfg));
+    ThreadPool::setDefaultThreads(0);
+}
+
+TEST(Determinism, TileParallelRegistryIdentical)
+{
+    // "Every exported counter": the whole StatRegistry snapshot —
+    // counters, scalars (hit rates, imbalance) and histograms — must
+    // serialize identically for serial and tile-parallel runs.
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Patu;
+    serial_cfg.threshold = 0.4f;
+    serial_cfg.threads = 1;
+    serial_cfg.keep_images = false;
+    RunConfig tile_cfg = serial_cfg;
+    tile_cfg.tile_parallel = true;
+
+    ThreadPool::setDefaultThreads(4);
+    RunResult a = runTrace(trace, serial_cfg);
+    RunResult b = runTrace(trace, tile_cfg);
+    ThreadPool::setDefaultThreads(0);
+
+    StatRegistry ra, rb;
+    buildRunRegistry(a, ra);
+    buildRunRegistry(b, rb);
+    EXPECT_EQ(ra.snapshot().toJson().dump(1),
+              rb.snapshot().toJson().dump(1));
 }
 
 TEST(Determinism, ParallelSsimMatchesSerial)
