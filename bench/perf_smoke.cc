@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "bench_util.hh"
+#include "pargpu/simd.hh"
 #include "pargpu/threading.hh"
 
 using namespace pargpu;
@@ -56,6 +57,9 @@ main()
                                      scaleDim(1024), frames);
 
     const unsigned hw = std::thread::hardware_concurrency();
+    const bool cpu_sse = simd::hostHasSse();
+    const bool cpu_avx2 = simd::hostHasAvx2();
+    const char *dispatch = simd::tierName(simd::activeTier());
     unsigned n_threads = ThreadPool::defaultThreads();
     if (n_threads < 2)
         n_threads = 2; // Exercise the parallel path even on 1 core.
@@ -112,6 +116,9 @@ main()
                  "  \"width\": %d,\n"
                  "  \"height\": %d,\n"
                  "  \"hardware_concurrency\": %u,\n"
+                 "  \"cpu_sse\": %s,\n"
+                 "  \"cpu_avx2\": %s,\n"
+                 "  \"simd_dispatch\": \"%s\",\n"
                  "  \"threads\": %u,\n"
                  "  \"serial_seconds\": %.6f,\n"
                  "  \"parallel_seconds\": %.6f,\n"
@@ -120,7 +127,9 @@ main()
                  "  \"speedup\": %.6f,\n"
                  "  \"bit_identical\": %s\n"
                  "}\n",
-                 frames, trace.width, trace.height, hw, n_threads, s_sec,
+                 frames, trace.width, trace.height, hw,
+                 cpu_sse ? "true" : "false", cpu_avx2 ? "true" : "false",
+                 dispatch, n_threads, s_sec,
                  p_sec, s_fps, p_fps, speedup,
                  identical ? "true" : "false");
     std::fclose(f);
@@ -151,6 +160,11 @@ main()
     // instead, because wall-clock depends on the machine.
     constexpr double kTexelSeedSecPerFrame = 2.73 / 4.0;
 
+    // Same workload after the PR-4/5 texel rework but before the SoA
+    // kernel layer (committed bench/baselines reference run). The SIMD
+    // acceptance bar is measured against this number.
+    constexpr double kTexelPr4SecPerFrame = 0.374622;
+
     GameTrace texel_trace =
         buildGameTrace(GameId::HL2, 640, 512, frames);
     RunConfig texel_cfg;
@@ -167,6 +181,7 @@ main()
     const double x_fps = frames / x_sec;
     const double sec_per_frame = x_sec / frames;
     const double speedup_vs_seed = kTexelSeedSecPerFrame / sec_per_frame;
+    const double speedup_vs_pr4 = kTexelPr4SecPerFrame / sec_per_frame;
 
     const double quads = sumOver(texel.frames, &FrameStats::quads);
     const double lines = sumOver(texel.frames, &FrameStats::tex_lines);
@@ -181,6 +196,8 @@ main()
     std::printf("  wall     : %7.2f s  (%6.3f frames/s)\n", x_sec, x_fps);
     std::printf("  vs seed  : %.2fx   (seed %.3f s/frame, this run %.3f)\n",
                 speedup_vs_seed, kTexelSeedSecPerFrame, sec_per_frame);
+    std::printf("  vs PR4   : %.2fx   (PR4 %.3f s/frame, dispatch %s)\n",
+                speedup_vs_pr4, kTexelPr4SecPerFrame, dispatch);
     std::printf("  hot path : %.3f memo hit rate, %.2f lines/quad\n",
                 memo_hit_rate, lines_per_quad);
 
@@ -198,16 +215,24 @@ main()
                  "  \"width\": 640,\n"
                  "  \"height\": 512,\n"
                  "  \"threads\": 1,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"cpu_sse\": %s,\n"
+                 "  \"cpu_avx2\": %s,\n"
+                 "  \"simd_dispatch\": \"%s\",\n"
                  "  \"seconds\": %.6f,\n"
                  "  \"frames_per_sec\": %.6f,\n"
                  "  \"seconds_per_frame\": %.6f,\n"
                  "  \"seed_seconds_per_frame\": %.6f,\n"
                  "  \"speedup_vs_seed\": %.6f,\n"
+                 "  \"pr4_seconds_per_frame\": %.6f,\n"
+                 "  \"speedup_vs_pr4\": %.6f,\n"
                  "  \"memo_hit_rate\": %.6f,\n"
                  "  \"lines_per_quad\": %.6f\n"
                  "}\n",
-                 frames, x_sec, x_fps, sec_per_frame,
-                 kTexelSeedSecPerFrame, speedup_vs_seed, memo_hit_rate,
+                 frames, hw, cpu_sse ? "true" : "false",
+                 cpu_avx2 ? "true" : "false", dispatch, x_sec, x_fps,
+                 sec_per_frame, kTexelSeedSecPerFrame, speedup_vs_seed,
+                 kTexelPr4SecPerFrame, speedup_vs_pr4, memo_hit_rate,
                  lines_per_quad);
     std::fclose(f);
     std::printf("wrote BENCH_texel.json\n");

@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "bench_util.hh"
+#include "pargpu/simd.hh"
 #include "pargpu/threading.hh"
 
 using namespace pargpu;
@@ -136,9 +137,15 @@ main()
                  "  \"height\": %d,\n"
                  "  \"clusters\": 8,\n"
                  "  \"hardware_concurrency\": %u,\n"
+                 "  \"cpu_sse\": %s,\n"
+                 "  \"cpu_avx2\": %s,\n"
+                 "  \"simd_dispatch\": \"%s\",\n"
                  "  \"serial_seconds\": %.6f,\n"
                  "  \"tile_parallel\": [\n",
-                 trace.width, trace.height, hw, s_sec);
+                 trace.width, trace.height, hw,
+                 simd::hostHasSse() ? "true" : "false",
+                 simd::hostHasAvx2() ? "true" : "false",
+                 simd::tierName(simd::activeTier()), s_sec);
     for (int i = 0; i < 4; ++i)
         std::fprintf(f,
                      "    {\"workers\": %u, \"seconds\": %.6f, "

@@ -15,6 +15,10 @@
 #   8. perf gate: perf_smoke's texel-bound export and perf_tile's
 #      tile-parallel export diffed against the committed baselines
 #      (bench/baselines/) with --fail-on-regress
+#   9. SIMD bit-identity: -DPARGPU_SIMD=OFF build vs the ON build —
+#      determinism subset + simd_kernel_test under both, then the
+#      harness metrics exports diffed field-by-field (only the
+#      dispatch-reporting fields may differ)
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -47,19 +51,19 @@ configure_build_test() {
     ctest --test-dir "$dir" "${ctest_args[@]}"
 }
 
-stage "1/8 Release + contracts + -Werror"
+stage "1/9 Release + contracts + -Werror"
 configure_build_test build-check \
     -DCMAKE_BUILD_TYPE=Release -DPARGPU_CHECKS=ON -DPARGPU_WERROR=ON
 
-stage "2/8 AddressSanitizer"
+stage "2/9 AddressSanitizer"
 configure_build_test build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_ASAN=ON -DPARGPU_CHECKS=ON
 
-stage "3/8 UndefinedBehaviorSanitizer"
+stage "3/9 UndefinedBehaviorSanitizer"
 configure_build_test build-ubsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_UBSAN=ON -DPARGPU_CHECKS=ON
 
-stage "4/8 ThreadSanitizer (threading subset)"
+stage "4/9 ThreadSanitizer (threading subset)"
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_TSAN=ON \
     >build-tsan.configure.log 2>&1 || { cat build-tsan.configure.log >&2; exit 1; }
@@ -72,7 +76,7 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 PARGPU_TILE_PARALLEL=1 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R "determinism_test|pipeline_test|integration_test"
 
-stage "5/8 tracing compiled out (-DPARGPU_TRACING=OFF)"
+stage "5/9 tracing compiled out (-DPARGPU_TRACING=OFF)"
 cmake -B build-notrace -S . \
     -DCMAKE_BUILD_TYPE=Release -DPARGPU_TRACING=OFF \
     >build-notrace.configure.log 2>&1 || { cat build-notrace.configure.log >&2; exit 1; }
@@ -81,10 +85,10 @@ cmake --build build-notrace -j "$JOBS" \
 ctest --test-dir build-notrace --output-on-failure -j "$JOBS" \
     -R "tracing_test|determinism_test"
 
-stage "6/8 pargpu-lint"
+stage "6/9 pargpu-lint"
 python3 tools/pargpu_lint.py --root "$ROOT"
 
-stage "7/8 clang-tidy"
+stage "7/9 clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
     cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         >/dev/null
@@ -94,7 +98,7 @@ else
     echo "clang-tidy not installed; skipping (config committed in .clang-tidy)"
 fi
 
-stage "8/8 perf gate (texel hot path + tile parallelism vs committed baselines)"
+stage "8/9 perf gate (texel hot path + tile parallelism vs committed baselines)"
 # Plain Release (contracts off) so wall-clock resembles production; the
 # gates themselves are on the *simulated* metrics, which are
 # deterministic — wall-clock speedups in BENCH_texel.json and
@@ -115,5 +119,62 @@ python3 tools/pargpu_report.py \
     bench/baselines/perf_tile_HL2-1280x1024_baseline.json \
     "$PERF_METRICS/perf_tile_HL2-1280x1024_baseline.json" \
     --fail-on-regress 0.01
+
+stage "9/9 SIMD bit-identity (-DPARGPU_SIMD=OFF vs ON)"
+# The scalar-only build must render the same frames and register the
+# same metrics as the SIMD build; only the dispatch-reporting fields
+# (run.simd_dispatch, registry simd.dispatch / texunit.simd_width) may
+# differ. build-perf is the ON build (the knob defaults to ON).
+cmake -B build-simd-off -S . -DCMAKE_BUILD_TYPE=Release -DPARGPU_SIMD=OFF \
+    >build-simd-off.configure.log 2>&1 || { cat build-simd-off.configure.log >&2; exit 1; }
+cmake --build build-simd-off -j "$JOBS" \
+    --target determinism_test simd_kernel_test pargpu_harness
+cmake --build build-perf -j "$JOBS" \
+    --target determinism_test simd_kernel_test pargpu_harness
+ctest --test-dir build-simd-off --output-on-failure -j "$JOBS" \
+    -R "determinism_test|simd_kernel_test"
+ctest --test-dir build-perf --output-on-failure -j "$JOBS" \
+    -R "determinism_test|simd_kernel_test"
+SIMD_DIFF="$ROOT/build-simd-off/simd-diff"
+mkdir -p "$SIMD_DIFF"
+for build in build-simd-off build-perf; do
+    "$ROOT/$build/src/harness/pargpu_harness" \
+        --run-game wolf --run-scenario patu \
+        --run-width 160 --run-height 120 --run-frames 2 --quiet \
+        --metrics-json "$SIMD_DIFF/$build.json"
+done
+python3 - "$SIMD_DIFF/build-simd-off.json" "$SIMD_DIFF/build-perf.json" <<'EOF'
+import json, sys
+
+# The only fields the dispatch tier may change.
+ALLOWED = {
+    "run/simd_dispatch",
+    "registry/scalars/simd.dispatch",
+    "registry/scalars/texunit.simd_width",
+}
+
+def flatten(node, prefix, out):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            flatten(v, f"{prefix}/{k}" if prefix else k, out)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            flatten(v, f"{prefix}[{i}]", out)
+    else:
+        out[prefix] = node
+    return out
+
+a = flatten(json.load(open(sys.argv[1])), "", {})
+b = flatten(json.load(open(sys.argv[2])), "", {})
+bad = [k for k in a.keys() | b.keys()
+       if k not in ALLOWED and a.get(k) != b.get(k)]
+if bad:
+    for k in sorted(bad):
+        print(f"SIMD OFF/ON mismatch {k}: {a.get(k)} vs {b.get(k)}",
+              file=sys.stderr)
+    sys.exit(1)
+print(f"SIMD OFF/ON exports identical ({len(a)} fields, "
+      f"{len(ALLOWED)} dispatch fields excluded)")
+EOF
 
 stage "all stages passed"

@@ -57,6 +57,27 @@ class BumpArena
         return {p, n};
     }
 
+    /**
+     * Allocate a span of @p n elements with NO construction: the storage
+     * is uninitialized (or holds stale bytes from before the last
+     * reset()). Only for trivially copyable types, and only for callers
+     * that overwrite every field before reading any — the texture unit's
+     * per-quad sample scratch, where value-initializing hundreds of bytes
+     * per sample is measurable.
+     */
+    template <typename T>
+    std::span<T>
+    allocSpanUninit(std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                          std::is_trivially_destructible_v<T>,
+                      "uninitialized spans need trivial lifetimes");
+        if (n == 0)
+            return {};
+        T *p = static_cast<T *>(allocBytes(n * sizeof(T), alignof(T)));
+        return {p, n};
+    }
+
     /** Recycle every allocation; keeps the backing blocks for reuse. */
     void
     reset()

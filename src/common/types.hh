@@ -6,6 +6,7 @@
 #ifndef PARGPU_COMMON_TYPES_HH
 #define PARGPU_COMMON_TYPES_HH
 
+#include <array>
 #include <cstdint>
 
 namespace pargpu
@@ -22,6 +23,14 @@ using Bytes = std::uint64_t;
 
 /** Invalid / sentinel address. */
 inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+/**
+ * The eight texel addresses of one trilinear sample, in slot order
+ * ([0..3] finer level, [4..7] coarser). The compact currency between the
+ * filtering layer and the PATU hash table / fetch bookkeeping, which
+ * consume only addresses.
+ */
+using TexelAddrSet = std::array<Addr, 8>;
 
 } // namespace pargpu
 

@@ -19,13 +19,10 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/types.hh"
+#include "common/types.hh" // TexelAddrSet: one sample's 8 addresses.
 
 namespace pargpu
 {
-
-/** The eight texel addresses of one trilinear sample. */
-using TexelAddrSet = std::array<Addr, 8>;
 
 /**
  * The texel-address lookup table of one PATU filtering pipeline.

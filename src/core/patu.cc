@@ -48,14 +48,23 @@ PatuUnit::approximatedLod(const AnisotropyInfo &info) const
 PixelDecision
 PatuUnit::preDecide(const AnisotropyInfo &info)
 {
+    return preDecideN(info, 1);
+}
+
+PixelDecision
+PatuUnit::preDecideN(const AnisotropyInfo &info, int count)
+{
+    const auto n = static_cast<std::uint64_t>(count);
     PixelDecision d;
+    if (count == 0)
+        return d;
     // Eq. 6 operates on the anisotropy degree (the axis ratio), which is
     // available right after Texel Generation — before the pipeline
     // quantizes it to an issued sample count.
     d.af_ssim_n = afSsimFromSampleSize(info.anisoDegree);
     PARGPU_CHECK_RANGE(d.af_ssim_n, 0.0f, 1.0f,
                        "AF-SSIM(N) is a similarity, N=", info.anisoDegree);
-    stats_.inc("patu.pixels");
+    cell(ctr_pixels_, "patu.pixels") += n;
 
     // Scenario forcing: Baseline always filters AF, NoAF never does.
     if (config_.scenario == DesignScenario::Baseline) {
@@ -63,7 +72,7 @@ PatuUnit::preDecide(const AnisotropyInfo &info)
         d.stage = DecisionStage::Forced;
         d.lod = info.lodAF;
         d.sample_size = info.sampleSize;
-        stats_.inc("patu.full_af");
+        cell(ctr_full_af_, "patu.full_af") += n;
         return d;
     }
     if (config_.scenario == DesignScenario::NoAF) {
@@ -71,7 +80,7 @@ PatuUnit::preDecide(const AnisotropyInfo &info)
         d.stage = DecisionStage::Forced;
         d.lod = info.lodTF;
         d.sample_size = 1;
-        stats_.inc("patu.approx_forced");
+        cell(ctr_approx_forced_, "patu.approx_forced") += n;
         return d;
     }
 
@@ -82,7 +91,7 @@ PatuUnit::preDecide(const AnisotropyInfo &info)
         d.stage = DecisionStage::TrivialTf;
         d.lod = info.lodTF;
         d.sample_size = 1;
-        stats_.inc("patu.trivial_tf");
+        cell(ctr_trivial_tf_, "patu.trivial_tf") += n;
         return d;
     }
 
@@ -92,7 +101,7 @@ PatuUnit::preDecide(const AnisotropyInfo &info)
         d.stage = DecisionStage::SampleArea;
         d.lod = approximatedLod(info);
         d.sample_size = 1;
-        stats_.inc("patu.approx_stage1");
+        cell(ctr_stage1_, "patu.approx_stage1") += n;
         return d;
     }
 
@@ -103,7 +112,7 @@ PatuUnit::preDecide(const AnisotropyInfo &info)
         d.stage = DecisionStage::FullAf;
         d.lod = info.lodAF;
         d.sample_size = info.sampleSize;
-        stats_.inc("patu.full_af");
+        cell(ctr_full_af_, "patu.full_af") += n;
         return d;
     }
 
@@ -117,15 +126,31 @@ void
 PatuUnit::finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
                              std::span<const TrilinearSample> samples)
 {
+    std::vector<TexelAddrSet> sets;
+    sets.reserve(samples.size());
+    for (const TrilinearSample &s : samples)
+        sets.push_back(addrSetOf(s));
+    finishDistribution(d, info, std::span<const TexelAddrSet>(sets));
+}
+
+void
+PatuUnit::finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
+                             std::span<const TexelAddrSet> samples)
+{
     d.need_distribution = false;
 
     table_.reset();
-    for (const TrilinearSample &s : samples) {
-        bool shared = table_.insert(addrSetOf(s));
-        stats_.inc("patu.table.inserts");
-        if (shared)
-            stats_.inc("patu.table.shared_hits");
+    std::uint64_t shared_hits = 0;
+    for (const TexelAddrSet &s : samples) {
+        if (table_.insert(s))
+            ++shared_hits;
     }
+    // Batched counter updates; bound only when non-zero so untouched
+    // counters stay absent from exports, like per-sample inc() calls.
+    if (!samples.empty())
+        cell(ctr_table_inserts_, "patu.table.inserts") += samples.size();
+    if (shared_hits > 0)
+        cell(ctr_table_shared_, "patu.table.shared_hits") += shared_hits;
 
     d.txds_value = txds(table_.probabilityVector(),
                         static_cast<int>(samples.size()));
@@ -145,23 +170,46 @@ PatuUnit::finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
         d.lod = approximatedLod(info);
         // The approximation controller sends the tag back to Texel Address
         // Calculation to recalculate with sample size 1 (Section V-B).
-        stats_.inc("patu.approx_stage2");
-        stats_.inc("patu.addr_recalc");
+        ++cell(ctr_stage2_, "patu.approx_stage2");
+        ++cell(ctr_addr_recalc_, "patu.addr_recalc");
     } else {
         d.approximate = false;
         d.stage = DecisionStage::FullAf;
-        stats_.inc("patu.full_af");
+        ++cell(ctr_full_af_, "patu.full_af");
     }
 }
 
 int
 PatuUnit::countSharedSamples(std::span<const TrilinearSample> samples)
 {
-    TexelAddressTable t;
+    std::vector<TexelAddrSet> sets;
+    sets.reserve(samples.size());
+    for (const TrilinearSample &s : samples)
+        sets.push_back(addrSetOf(s));
+    return countSharedSamples(std::span<const TexelAddrSet>(sets));
+}
+
+int
+PatuUnit::countSharedSamples(std::span<const TexelAddrSet> sets)
+{
+    // Equivalent to inserting every address set into a fresh
+    // kEntries-capacity TexelAddressTable, but measured in place: a
+    // sample is shared iff its 8-address set equals an earlier *recorded*
+    // set, and once kEntries distinct sets are recorded later new sets
+    // are dropped exactly as the full table drops them. Avoids a heap
+    // allocation and an address-set copy per pixel.
+    int first[TexelAddressTable::kEntries];
+    int distinct = 0;
     int shared = 0;
-    for (const TrilinearSample &s : samples) {
-        if (t.insert(addrSetOf(s)))
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        const TexelAddrSet &a = sets[i];
+        bool match = false;
+        for (int d = 0; d < distinct && !match; ++d)
+            match = a == sets[static_cast<std::size_t>(first[d])];
+        if (match)
             ++shared;
+        else if (distinct < TexelAddressTable::kEntries)
+            first[distinct++] = static_cast<int>(i);
     }
     return shared;
 }

@@ -107,6 +107,16 @@ class PatuUnit
     PixelDecision preDecide(const AnisotropyInfo &info);
 
     /**
+     * preDecide() for @p count pixels that share the same AnisotropyInfo
+     * (a quad's covered pixels — the info is quad-wide). The decision is
+     * a pure function of the info, so one evaluation serves all pixels;
+     * the per-pixel decision counters advance by @p count, exactly as
+     * count preDecide() calls would. count == 0 is a no-op returning the
+     * (unused) decision.
+     */
+    PixelDecision preDecideN(const AnisotropyInfo &info, int count);
+
+    /**
      * Run the stage-2 distribution check on the AF trilinear samples'
      * address sets and finalize the decision.
      *
@@ -118,6 +128,10 @@ class PatuUnit
     void finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
                             std::span<const TrilinearSample> samples);
 
+    /** finishDistribution() on pre-extracted address sets (hot path). */
+    void finishDistribution(PixelDecision &d, const AnisotropyInfo &info,
+                            std::span<const TexelAddrSet> sets);
+
     /**
      * Measurement helper for the Fig. 12 statistic: count how many of the
      * AF samples share a texel set with a previously seen sample of the
@@ -127,6 +141,9 @@ class PatuUnit
      */
     int countSharedSamples(std::span<const TrilinearSample> samples);
 
+    /** countSharedSamples() on pre-extracted address sets (hot path). */
+    int countSharedSamples(std::span<const TexelAddrSet> sets);
+
     /** Decision statistics accumulated since construction. */
     const StatRegistry &stats() const { return stats_; }
     StatRegistry &stats() { return stats_; }
@@ -135,9 +152,32 @@ class PatuUnit
     /** LOD an approximated pixel's TF should use (Section V-C(2)). */
     float approximatedLod(const AnisotropyInfo &info) const;
 
+    /**
+     * Cached registry cell, bound on first use so counters that are never
+     * touched stay absent from exports — exactly like inc() on demand.
+     * The PatuUnit is single-threaded (one per texture-unit pipeline), so
+     * bumping the cell directly is safe; see StatRegistry::counterCell().
+     */
+    std::uint64_t &
+    cell(std::uint64_t *&c, const char *name)
+    {
+        if (c == nullptr)
+            c = stats_.counterCell(name);
+        return *c;
+    }
+
     PatuConfig config_;
     TexelAddressTable table_;
     StatRegistry stats_;
+    std::uint64_t *ctr_pixels_ = nullptr;
+    std::uint64_t *ctr_full_af_ = nullptr;
+    std::uint64_t *ctr_approx_forced_ = nullptr;
+    std::uint64_t *ctr_trivial_tf_ = nullptr;
+    std::uint64_t *ctr_stage1_ = nullptr;
+    std::uint64_t *ctr_stage2_ = nullptr;
+    std::uint64_t *ctr_addr_recalc_ = nullptr;
+    std::uint64_t *ctr_table_inserts_ = nullptr;
+    std::uint64_t *ctr_table_shared_ = nullptr;
 };
 
 /** Extract the 8-address set of a trilinear sample. */

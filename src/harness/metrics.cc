@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <fstream>
+#include <thread>
 
 #include "power/energy.hh"
+#include "simd/dispatch.hh"
 
 namespace pargpu
 {
@@ -48,6 +50,7 @@ constexpr FrameField kFrameFields[] = {
     {"tex_lines", [](const FrameStats &f) { return f.tex_lines; }},
     {"memo_lookups", [](const FrameStats &f) { return f.memo_lookups; }},
     {"memo_hits", [](const FrameStats &f) { return f.memo_hits; }},
+    {"simd_batches", [](const FrameStats &f) { return f.simd_batches; }},
     {"af_candidate_pixels",
      [](const FrameStats &f) { return f.af_candidate_pixels; }},
     {"approx_stage1", [](const FrameStats &f) { return f.approx_stage1; }},
@@ -121,6 +124,7 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
         t.tex_lines += f.tex_lines;
         t.memo_lookups += f.memo_lookups;
         t.memo_hits += f.memo_hits;
+        t.simd_batches += f.simd_batches;
         t.af_candidate_pixels += f.af_candidate_pixels;
         t.approx_stage1 += f.approx_stage1;
         t.approx_stage2 += f.approx_stage2;
@@ -168,6 +172,15 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
     reg.inc("texunit.memo_lookups", t.memo_lookups);
     reg.inc("texunit.memo_hits", t.memo_hits);
     reg.set("texunit.memo_hit_rate", ratio(t.memo_hits, t.memo_lookups));
+    // SoA batch-filter host-path counters. simd_batches is dispatch-tier
+    // independent (one per batched filter call); simd_width and
+    // simd.dispatch describe the host tier and are the only registry keys
+    // allowed to differ across PARGPU_SIMD tiers / build knobs.
+    reg.inc("texunit.simd_batches", t.simd_batches);
+    reg.set("texunit.simd_width",
+            static_cast<double>(simd::tierLanes(simd::activeTier())));
+    reg.set("simd.dispatch",
+            static_cast<double>(static_cast<int>(simd::activeTier())));
     // Host-side texel storage in effect for this process (1 = Morton).
     reg.set("texture.morton_storage",
             TextureMap::defaultStorage() == TexelStorage::Morton ? 1.0
@@ -290,6 +303,16 @@ metricsJson(const RunMetadata &meta, const RunConfig &config,
     rj.set("threads", Json{config.threads});
     rj.set("tile_parallel", Json{config.tile_parallel});
     rj.set("clusters", Json{config.clusters});
+    // Host-machine context: makes cross-machine metric comparisons
+    // interpretable (the simulated metrics are host-independent; only
+    // wall-clock and the active kernel tier depend on these).
+    rj.set("hardware_concurrency",
+           Json{static_cast<std::uint64_t>(
+               std::thread::hardware_concurrency())});
+    rj.set("cpu_sse", Json{simd::hostHasSse()});
+    rj.set("cpu_avx2", Json{simd::hostHasAvx2()});
+    rj.set("simd_dispatch", Json{std::string(
+        simd::tierName(simd::activeTier()))});
     root.set("run", std::move(rj));
 
     Json agg = Json::object();

@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <bit>
+
 #include "common/contract.hh"
 #include "common/logging.hh"
 
@@ -30,20 +32,24 @@ SetAssocCache::SetAssocCache(const CacheConfig &config)
     num_sets_ = static_cast<unsigned>(lines / config_.assoc);
     if (!isPow2(num_sets_))
         fatal("cache set count must be a power of two");
+    line_shift_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(config_.line_bytes)));
+    set_shift_ = static_cast<unsigned>(std::countr_zero(num_sets_));
     lines_.resize(lines);
 }
 
 unsigned
 SetAssocCache::setIndex(Addr addr) const
 {
-    return static_cast<unsigned>((addr / config_.line_bytes) &
-                                 (num_sets_ - 1));
+    // line_bytes and num_sets_ are power-of-two checked at construction,
+    // so the divisions reduce to shifts on this per-texel-line hot path.
+    return static_cast<unsigned>((addr >> line_shift_) & (num_sets_ - 1));
 }
 
 Addr
 SetAssocCache::tagOf(Addr addr) const
 {
-    return addr / config_.line_bytes / num_sets_;
+    return addr >> (line_shift_ + set_shift_);
 }
 
 bool

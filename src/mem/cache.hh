@@ -81,6 +81,8 @@ class SetAssocCache
 
     CacheConfig config_;
     unsigned num_sets_;
+    unsigned line_shift_; ///< log2(line_bytes); both are pow2-checked.
+    unsigned set_shift_;  ///< log2(num_sets_).
     std::vector<Line> lines_; ///< num_sets_ * assoc, set-major.
     std::uint64_t use_clock_ = 0;
     std::uint64_t hits_ = 0;

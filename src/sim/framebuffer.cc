@@ -1,5 +1,6 @@
 #include "sim/framebuffer.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/contract.hh"
@@ -9,16 +10,27 @@ namespace pargpu
 {
 
 Framebuffer::Framebuffer(int width, int height)
-    : color_(width, height),
-      depth_(static_cast<std::size_t>(width) * height,
-             std::numeric_limits<float>::infinity())
+    : width_(width), height_(height),
+      own_color_(static_cast<std::size_t>(width) * height),
+      own_depth_(static_cast<std::size_t>(width) * height,
+                 std::numeric_limits<float>::infinity()),
+      color_(own_color_), depth_(own_depth_)
+{
+}
+
+Framebuffer::Framebuffer(int width, int height, BumpArena &arena)
+    : width_(width), height_(height),
+      color_(arena.allocSpanUninit<Color4f>(
+          static_cast<std::size_t>(width) * height)),
+      depth_(arena.allocSpanUninit<float>(
+          static_cast<std::size_t>(width) * height))
 {
 }
 
 void
 Framebuffer::clear(const Color4f &c)
 {
-    for (Color4f &px : color_.pixels())
+    for (Color4f &px : color_)
         px = c;
     for (float &d : depth_)
         d = std::numeric_limits<float>::infinity();
@@ -41,6 +53,14 @@ float
 Framebuffer::depthAt(int x, int y) const
 {
     return depth_[static_cast<std::size_t>(y) * width() + x];
+}
+
+Image
+Framebuffer::toImage() const
+{
+    Image img(width_, height_);
+    std::copy(color_.begin(), color_.end(), img.pixels().begin());
+    return img;
 }
 
 Addr

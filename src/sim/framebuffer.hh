@@ -1,13 +1,20 @@
 /**
  * @file
  * Color + depth framebuffer for the simulated GPU.
+ *
+ * The pixel and depth planes are plain spans so the render loop can back
+ * them with per-frame BumpArena scratch (GpuSimulator re-renders into the
+ * same blocks every frame instead of re-allocating ~5 MB of vectors); the
+ * owning constructor keeps standalone use (tests, tools) trivial.
  */
 
 #ifndef PARGPU_SIM_FRAMEBUFFER_HH
 #define PARGPU_SIM_FRAMEBUFFER_HH
 
+#include <span>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/image.hh"
 #include "common/types.hh"
 
@@ -15,16 +22,23 @@ namespace pargpu
 {
 
 /**
- * A width x height color image plus a float depth buffer (smaller value =
- * nearer; cleared to +inf equivalent).
+ * A width x height color raster plus a float depth buffer (smaller value =
+ * nearer; cleared to +inf). Planes are uninitialized until clear().
  */
 class Framebuffer
 {
   public:
+    /** Self-owning planes (heap vectors). */
     Framebuffer(int width, int height);
 
-    int width() const { return color_.width(); }
-    int height() const { return color_.height(); }
+    /**
+     * Arena-backed planes: storage comes from @p arena and is recycled by
+     * the arena's next reset(), which must outlive this framebuffer.
+     */
+    Framebuffer(int width, int height, BumpArena &arena);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
 
     /** Clear color to @p c and depth to the far value. */
     void clear(const Color4f &c);
@@ -39,17 +53,32 @@ class Framebuffer
     float depthAt(int x, int y) const;
 
     /** Write a shaded pixel. */
-    void writeColor(int x, int y, const Color4f &c) { color_.at(x, y) = c; }
+    void
+    writeColor(int x, int y, const Color4f &c)
+    {
+        color_[static_cast<std::size_t>(y) * width_ + x] = c;
+    }
 
-    const Image &color() const { return color_; }
-    Image &color() { return color_; }
+    /** Read-only color at (x, y). */
+    const Color4f &
+    colorAt(int x, int y) const
+    {
+        return color_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    /** Copy the color plane out as an Image (end-of-frame snapshot). */
+    Image toImage() const;
 
     /** Byte address of pixel (x, y) in the simulated framebuffer region. */
     Addr pixelAddr(int x, int y) const;
 
   private:
-    Image color_;
-    std::vector<float> depth_;
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<Color4f> own_color_; ///< Owning mode only.
+    std::vector<float> own_depth_;   ///< Owning mode only.
+    std::span<Color4f> color_;
+    std::span<float> depth_;
 };
 
 } // namespace pargpu

@@ -139,13 +139,15 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
     base.dram_reads = mem_->dram().reads();
     base.dram_row_hits = mem_->dram().rowHits();
 
-    Framebuffer fb(width, height);
+    frame_arena_.reset();
+    Framebuffer fb(width, height, frame_arena_);
     fb.clear(scene.clear_color);
 
     FrameStats fs;
     const unsigned tile = config_.tile_size;
     const int tiles_x = (width + tile - 1) / tile;
     const int tiles_y = (height + tile - 1) / tile;
+    const std::size_t n_tiles = static_cast<std::size_t>(tiles_x) * tiles_y;
     const unsigned shader_parallelism =
         config_.clusters * config_.shaders_per_cluster;
 
@@ -208,11 +210,14 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             fronts.emplace_back(*mem_, c);
     }
 
-    // Scratch bins: triangle indices per tile, rebuilt per draw call so
-    // draw order (and therefore depth-test order) is preserved.
-    std::vector<std::vector<std::uint32_t>> bins(
-        static_cast<std::size_t>(tiles_x) * tiles_y);
-    std::vector<SetupTriangle> tris;
+    // Scratch bins: triangle indices per tile in CSR form (counts, start
+    // offsets, one flat item array), rebuilt per draw call so draw order
+    // (and therefore depth-test order) is preserved. Arena-backed: one
+    // vector-of-vectors here used to cost a heap allocation per touched
+    // tile per draw.
+    std::span<std::uint32_t> bin_count;
+    std::span<std::uint32_t> bin_start;
+    std::span<std::uint32_t> bin_items;
 
     Addr vertex_addr = AddressMap::kVertexBase;
 
@@ -240,7 +245,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             std::max(1u, shader_parallelism) + 1;
 
         // --- Primitive assembly / clip / cull ----------------------------
-        tris.clear();
+        tris_.clear();
         for (std::size_t t = 0; t + 2 < mesh.indices.size(); t += 3) {
             Vertex tv[3];
             Vec3 wp[3];
@@ -252,26 +257,52 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             ++fs.triangles_in;
             float shade = faceShade(wp[0], wp[1], wp[2]);
             setupTriangles(tv, mvp, shade, mesh.texture_id, draw.filter,
-                           draw.backface_cull, width, height, tris,
+                           draw.backface_cull, width, height, tris_,
                            draw.specular);
         }
-        fs.triangles_setup += tris.size();
+        fs.triangles_setup += tris_.size();
         geometry_cycles += (mesh.indices.size() / 3) *
             config_.tri_setup_cycles / std::max(1u, config_.clusters) + 1;
 
         // --- Tiling engine ------------------------------------------------
-        for (auto &bin : bins)
-            bin.clear();
-        for (std::uint32_t ti = 0; ti < tris.size(); ++ti) {
-            const SetupTriangle &st = tris[ti];
+        // Two passes over the triangle/tile overlaps: count, then fill at
+        // prefix-summed offsets. Items land grouped by tile, triangles in
+        // submission order within each tile — the same traversal order
+        // the per-tile vectors produced.
+        bin_arena_.reset();
+        bin_count = bin_arena_.allocSpan<std::uint32_t>(n_tiles);
+        for (const SetupTriangle &st : tris_) {
             int tx0 = st.min_x / static_cast<int>(tile);
             int tx1 = st.max_x / static_cast<int>(tile);
             int ty0 = st.min_y / static_cast<int>(tile);
             int ty1 = st.max_y / static_cast<int>(tile);
             for (int ty = ty0; ty <= ty1; ++ty)
                 for (int tx = tx0; tx <= tx1; ++tx)
-                    bins[static_cast<std::size_t>(ty) * tiles_x + tx]
-                        .push_back(ti);
+                    ++bin_count[static_cast<std::size_t>(ty) * tiles_x +
+                                tx];
+        }
+        bin_start = bin_arena_.allocSpanUninit<std::uint32_t>(n_tiles + 1);
+        std::uint32_t running = 0;
+        for (std::size_t t = 0; t < n_tiles; ++t) {
+            bin_start[t] = running;
+            running += bin_count[t];
+        }
+        bin_start[n_tiles] = running;
+        bin_items = bin_arena_.allocSpanUninit<std::uint32_t>(running);
+        std::span<std::uint32_t> bin_cursor =
+            bin_arena_.allocSpanUninit<std::uint32_t>(n_tiles);
+        std::copy(bin_start.begin(), bin_start.end() - 1,
+                  bin_cursor.begin());
+        for (std::uint32_t ti = 0; ti < tris_.size(); ++ti) {
+            const SetupTriangle &st = tris_[ti];
+            int tx0 = st.min_x / static_cast<int>(tile);
+            int tx1 = st.max_x / static_cast<int>(tile);
+            int ty0 = st.min_y / static_cast<int>(tile);
+            int ty1 = st.max_y / static_cast<int>(tile);
+            for (int ty = ty0; ty <= ty1; ++ty)
+                for (int tx = tx0; tx <= tx1; ++tx)
+                    bin_items[bin_cursor[static_cast<std::size_t>(ty) *
+                                         tiles_x + tx]++] = ti;
         }
         } // geometry span
 
@@ -280,10 +311,12 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         if (!tile_par) {
         for (int ty = 0; ty < tiles_y; ++ty) {
             for (int tx = 0; tx < tiles_x; ++tx) {
-                const auto &bin =
-                    bins[static_cast<std::size_t>(ty) * tiles_x + tx];
-                if (bin.empty())
+                const std::size_t t =
+                    static_cast<std::size_t>(ty) * tiles_x + tx;
+                if (bin_count[t] == 0)
                     continue;
+                const std::span<const std::uint32_t> bin =
+                    bin_items.subspan(bin_start[t], bin_count[t]);
                 unsigned cl = static_cast<unsigned>(ty * tiles_x + tx) %
                     config_.clusters;
                 Cycle &cc = cluster_cycles[cl];
@@ -300,7 +333,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                 std::uint64_t tile_pixels = 0;
 
                 for (std::uint32_t ti : bin) {
-                    const SetupTriangle &st = tris[ti];
+                    const SetupTriangle &st = tris_[ti];
                     int wx0 = std::max(px0, st.min_x);
                     int wy0 = std::max(py0, st.min_y);
                     int wx1 = std::min(px1, st.max_x);
@@ -362,7 +395,6 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             // the pass is race-free, and each cluster's L1 access stream
             // is exactly the serial one. Shared LLC/DRAM are not touched:
             // L1 misses land in the cluster front's log instead.
-            const std::size_t n_tiles = bins.size();
             ThreadPool::run(config_.clusters, 1, [&](std::size_t c) {
                 PARGPU_TRACE_SCOPE_F("sim", "cluster", c);
                 ClusterLog &log = logs[c];
@@ -370,9 +402,10 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                 TextureUnit &tu = *tus_[c];
                 for (std::size_t t = c; t < n_tiles;
                      t += config_.clusters) {
-                    const auto &bin = bins[t];
-                    if (bin.empty())
+                    if (bin_count[t] == 0)
                         continue;
+                    const std::span<const std::uint32_t> bin =
+                        bin_items.subspan(bin_start[t], bin_count[t]);
                     const int ty = static_cast<int>(t) / tiles_x;
                     const int tx = static_cast<int>(t) % tiles_x;
                     int px0 = tx * static_cast<int>(tile);
@@ -391,7 +424,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                     std::uint64_t tile_pixels = 0;
 
                     for (std::uint32_t ti : bin) {
-                        const SetupTriangle &st = tris[ti];
+                        const SetupTriangle &st = tris_[ti];
                         int wx0 = std::max(px0, st.min_x);
                         int wy0 = std::max(py0, st.min_y);
                         int wx1 = std::min(px1, st.max_x);
@@ -453,7 +486,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             PARGPU_TRACE_SCOPE("sim", "commit");
             std::vector<std::size_t> cursor(config_.clusters, 0);
             for (std::size_t t = 0; t < n_tiles; ++t) {
-                if (bins[t].empty())
+                if (bin_count[t] == 0)
                     continue;
                 const unsigned cl =
                     static_cast<unsigned>(t) % config_.clusters;
@@ -535,6 +568,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         fs.tex_lines += ts.lines;
         fs.memo_lookups += ts.memo_lookups;
         fs.memo_hits += ts.memo_hits;
+        fs.simd_batches += ts.simd_batches;
         fs.af_candidate_pixels += ts.af_candidate_pixels;
         fs.approx_stage1 += ts.approx_stage1;
         fs.approx_stage2 += ts.approx_stage2;
@@ -601,7 +635,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
     PARGPU_TRACE_COUNTER("sim", "frame.cycles", fs.total_cycles);
 
     FrameOutput out;
-    out.image = fb.color();
+    out.image = fb.toImage();
     out.stats = fs;
     return out;
 }

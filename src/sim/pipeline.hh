@@ -19,11 +19,13 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/image.hh"
 #include "common/types.hh"
 #include "mem/memsys.hh"
 #include "sim/config.hh"
 #include "sim/geometry.hh"
+#include "sim/raster.hh"
 #include "sim/texunit.hh"
 
 namespace pargpu
@@ -72,6 +74,7 @@ struct FrameStats
                                      ///< summed over quads.
     std::uint64_t memo_lookups = 0;  ///< Footprint-memo probes.
     std::uint64_t memo_hits = 0;     ///< ... served from the memo.
+    std::uint64_t simd_batches = 0;  ///< Batched SoA filter invocations.
 
     // --- PATU decisions --------------------------------------------------
     std::uint64_t af_candidate_pixels = 0;
@@ -140,6 +143,15 @@ class GpuSimulator
     GpuConfig config_;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<std::unique_ptr<TextureUnit>> tus_;
+    /**
+     * Per-frame scratch: framebuffer planes. Reset at the top of
+     * renderFrame(), so consecutive frames re-render into the same
+     * blocks instead of re-allocating multi-MB vectors.
+     */
+    BumpArena frame_arena_;
+    /** Per-draw scratch: the tiling engine's CSR triangle bins. */
+    BumpArena bin_arena_;
+    std::vector<SetupTriangle> tris_; ///< Post-setup triangles, per draw.
 };
 
 } // namespace pargpu

@@ -57,15 +57,29 @@ TextureUnit::QuadLineSet::insertLine(Addr line_addr)
 }
 
 void
-TextureUnit::queueSample(const TrilinearSample &s)
+TextureUnit::queueSample(const TexelAddrSet &addrs)
 {
     // Texels within a sample frequently share cache lines (tiled layout),
     // and samples across the quad share whole footprints; the fetch unit
     // coalesces all of it, so record each distinct line once for the
     // quad-level batched read.
-    const Bytes line = mem_->config().line_bytes;
-    for (const TexelRef &t : s.texels)
-        lines_.insertLine(t.addr / line * line);
+    // line_bytes is validated power-of-two by the cache constructors
+    // (SetAssocCache), so line-aligning is a mask, not a divide.
+    const Addr mask = ~(static_cast<Addr>(mem_->config().line_bytes) - 1);
+    for (int k = 0; k < 8; ++k) {
+        // Texels within a footprint usually share a line (tiled layout),
+        // and consecutive AF samples overlap footprints; insertLine()
+        // would dedup all of it anyway, so tracking the last line per
+        // level half (slots 0-3 = finer level, 4-7 = coarser) across the
+        // quad's samples only skips probes of lines already recorded —
+        // first-touch order is unchanged.
+        Addr la = addrs[static_cast<std::size_t>(k)] & mask;
+        Addr &prev = prev_line_[k >> 2];
+        if (la != prev) {
+            lines_.insertLine(la);
+            prev = la;
+        }
+    }
     stats_.texels += 8;
     ++stats_.trilinear_samples;
 }
@@ -84,126 +98,236 @@ TextureUnit::processQuadWork(const QuadFragment &quad,
     memo_.reset();
     lines_.reset();
     arena_.reset();
+    prev_line_[0] = prev_line_[1] = ~static_cast<Addr>(0);
 
     PixelPlan plans[4];
-    // Stored AF footprints per pixel, when the decision requires them
-    // (arena-backed: recycled wholesale at the next quad).
-    std::span<TrilinearSample> footprints[4];
+    // Stored AF sample address sets per pixel, when the decision requires
+    // them (arena-backed: recycled wholesale at the next quad).
+    std::span<TexelAddrSet> footprints[4];
 
     bool any_af_pixel = false;
     bool any_approx = false;
     bool any_keep = false;
 
-    for (int i = 0; i < 4; ++i) {
-        if (!(quad.coverage & (1u << i)))
-            continue;
-        PixelPlan &plan = plans[i];
-        plan.active = true;
-        ++stats_.pixels;
-
-        if (mode != FilterMode::Anisotropic) {
-            // Isotropic draw calls: one trilinear sample (bilinear uses
-            // LOD 0, which degenerates to a single-level footprint).
-            float lod = mode == FilterMode::Bilinear ? 0.0f : info.lodTF;
-            std::span<TrilinearSample> s =
-                arena_.allocSpan<TrilinearSample>(1);
-            plan.color = sampler.filterTrilinearInto(quad.uv[i], lod,
-                                                     s[0], &memo_);
-            plan.fetch_samples = 1;
-            plan.addr_samples = 1;
-            queueSample(s[0]);
-            continue;
+    if (mode != FilterMode::Anisotropic) {
+        // Isotropic draw calls: one trilinear sample per covered pixel
+        // (bilinear uses LOD 0, which degenerates to a single-level
+        // footprint). The LOD — and hence the level selection — is
+        // quad-wide, so the covered pixels batch into one SoA kernel
+        // call. Memo probes run in pixel order and line collection
+        // follows in the same pixel order, exactly as the per-pixel
+        // loop issued them.
+        const float lod = mode == FilterMode::Bilinear ? 0.0f : info.lodTF;
+        const LodSelect sel = sampler.selectLod(lod);
+        Vec2 uvs[4];
+        int px[4];
+        int n = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (!(quad.coverage & (1u << i)))
+                continue;
+            plans[i].active = true;
+            ++stats_.pixels;
+            uvs[n] = quad.uv[i];
+            px[n] = i;
+            ++n;
         }
-
-        // Anisotropic path with the PATU decision flow (Fig. 13).
+        if (n > 0) {
+            TexelAddrSet aset[4];
+            Color4f cols[4];
+            qfilter_.filterSamplesAddrs(sampler, uvs, n, sel, memo_, aset,
+                                        cols);
+            for (int k = 0; k < n; ++k) {
+                PixelPlan &plan = plans[px[k]];
+                plan.color = cols[k];
+                plan.fetch_samples = 1;
+                plan.addr_samples = 1;
+                queueSample(aset[k]);
+            }
+        }
+    } else {
+        // Anisotropic path with the PATU decision flow (Fig. 13). The
+        // pre-decision is a pure function of the quad-wide
+        // AnisotropyInfo, so every covered pixel reaches the same
+        // PixelDecision; preDecide() still runs once per pixel because
+        // its counters are per-pixel statistics. When no distribution
+        // check is needed, the quad therefore takes one uniform branch
+        // and the pixels' sample batches concatenate — in pixel order,
+        // preserving the memo probe and line first-touch sequences — into
+        // a single SoA kernel call.
         PARGPU_ASSERT(info.sampleSize >= 1,
                       "anisotropy N must be >= 1: ", info.sampleSize);
-        if (info.sampleSize > 1) {
-            ++stats_.af_candidate_pixels;
-            any_af_pixel = true;
-        }
-
-        PixelDecision d = patu_.preDecide(info);
-
-        Color4f af_color;
-        if (d.need_distribution) {
-            // Texel Address Calculation for all N samples, fed into the
-            // hash table as each sample's addresses complete (overlapped
-            // with address calculation, Section V-B).
-            footprints[i] = arena_.allocSpan<TrilinearSample>(
-                static_cast<std::size_t>(info.sampleSize));
-            af_color = sampler.filterAnisotropicInto(
-                quad.uv[i], info, footprints[i].data(), &memo_);
-            plan.addr_samples = static_cast<int>(footprints[i].size());
-            stats_.table_accesses += footprints[i].size();
-            patu_.finishDistribution(d, info, footprints[i]);
-        }
-
-        plan.approximate = d.approximate;
-        plan.stage = d.stage;
-
-        switch (d.stage) {
-          case DecisionStage::TrivialTf:
-            ++stats_.trivial_tf;
-            break;
-          case DecisionStage::SampleArea:
-            ++stats_.approx_stage1;
-            break;
-          case DecisionStage::Distribution:
-            ++stats_.approx_stage2;
-            break;
-          case DecisionStage::FullAf:
-            ++stats_.full_af;
-            break;
-          case DecisionStage::Forced:
-            if (d.approximate)
-                ++stats_.trivial_tf;
-            else
-                ++stats_.full_af;
-            break;
-        }
-
-        if (d.approximate) {
-            any_approx = any_approx || info.sampleSize > 1;
-            // The decision LOD must be a usable mip coordinate: finite
-            // and not below the base level (trilinearInto() clamps the
-            // top end against the actual chain length).
-            PARGPU_ASSERT(d.lod >= 0.0f && d.lod <= 32.0f,
-                          "decision LOD out of mip-chain bounds: ", d.lod);
-            // TF at the decision's LOD. Stage-2 approximations pay one
-            // extra address-recalculation loop (Section V-B).
-            std::span<TrilinearSample> s =
-                arena_.allocSpan<TrilinearSample>(1);
-            plan.color = sampler.filterTrilinearInto(quad.uv[i], d.lod,
-                                                     s[0], &memo_);
-            plan.fetch_samples = 1;
-            plan.addr_samples += 1;
-            queueSample(s[0]);
-        } else {
-            any_keep = any_keep || info.sampleSize > 1;
-            if (footprints[i].empty()) {
-                // Baseline / AF-SSIM(N) kept AF without running the
-                // distribution stage: compute the footprints now.
-                footprints[i] = arena_.allocSpan<TrilinearSample>(
-                    static_cast<std::size_t>(info.sampleSize));
-                plan.color = sampler.filterAnisotropicInto(
-                    quad.uv[i], info, footprints[i].data(), &memo_);
-                plan.addr_samples =
-                    static_cast<int>(footprints[i].size());
-            } else {
-                // Reuse the footprints (and color) from the distribution
-                // check.
-                plan.color = af_color;
+        int act[4];
+        int n_act = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (!(quad.coverage & (1u << i)))
+                continue;
+            plans[i].active = true;
+            ++stats_.pixels;
+            if (info.sampleSize > 1) {
+                ++stats_.af_candidate_pixels;
+                any_af_pixel = true;
             }
-            plan.fetch_samples = static_cast<int>(footprints[i].size());
-            for (const TrilinearSample &s : footprints[i])
-                queueSample(s);
+            act[n_act++] = i;
+        }
+        // One evaluation covers the quad (the info is quad-wide and the
+        // pre-decision is a pure function of it); the per-pixel decision
+        // counters advance as if each pixel had decided for itself.
+        PixelDecision d = patu_.preDecideN(info, n_act);
+
+        if (n_act > 0 && d.need_distribution) {
+            // Stage-2 scenarios interleave footprint generation, the
+            // hash-table check and a possible TF recalculation per pixel,
+            // and the decision can diverge across the quad: stay
+            // per-pixel.
+            for (int a = 0; a < n_act; ++a) {
+                const int i = act[a];
+                PixelPlan &plan = plans[i];
+                PixelDecision di = d; // Identical for every pixel.
+
+                // Texel Address Calculation for all N samples, fed into
+                // the hash table as each sample's addresses complete
+                // (overlapped with address calculation, Section V-B).
+                footprints[i] = arena_.allocSpanUninit<TexelAddrSet>(
+                    static_cast<std::size_t>(info.sampleSize));
+                Color4f sample_cols[simd::kMaxLanes];
+                Color4f af_color = qfilter_.filterAnisotropicAddrs(
+                    sampler, quad.uv[i], info, memo_, footprints[i].data(),
+                    sample_cols);
+                plan.addr_samples = static_cast<int>(footprints[i].size());
+                stats_.table_accesses += footprints[i].size();
+                patu_.finishDistribution(di, info, footprints[i]);
+
+                plan.approximate = di.approximate;
+                plan.stage = di.stage;
+                switch (di.stage) {
+                  case DecisionStage::Distribution:
+                    ++stats_.approx_stage2;
+                    break;
+                  case DecisionStage::FullAf:
+                    ++stats_.full_af;
+                    break;
+                  default:
+                    PARGPU_INVARIANT(false, "distribution check returned "
+                                            "a non-stage-2 decision");
+                }
+
+                if (di.approximate) {
+                    any_approx = any_approx || info.sampleSize > 1;
+                    // The decision LOD must be a usable mip coordinate
+                    // (trilinearInto() clamps the top end against the
+                    // actual chain length).
+                    PARGPU_ASSERT(di.lod >= 0.0f && di.lod <= 32.0f,
+                                  "decision LOD out of mip-chain bounds: ",
+                                  di.lod);
+                    // TF at the decision's LOD. Stage-2 approximations
+                    // pay one extra address-recalculation loop
+                    // (Section V-B).
+                    TexelAddrSet tf_addrs;
+                    plan.color = qfilter_.filterTrilinearAddrs(
+                        sampler, quad.uv[i], di.lod, memo_, tf_addrs);
+                    plan.fetch_samples = 1;
+                    plan.addr_samples += 1;
+                    queueSample(tf_addrs);
+                } else {
+                    any_keep = any_keep || info.sampleSize > 1;
+                    // Reuse the footprints (and color) from the
+                    // distribution check.
+                    plan.color = af_color;
+                    plan.fetch_samples =
+                        static_cast<int>(footprints[i].size());
+                    for (const TexelAddrSet &s : footprints[i])
+                        queueSample(s);
+                }
+            }
+        } else if (n_act > 0) {
+            for (int a = 0; a < n_act; ++a) {
+                plans[act[a]].approximate = d.approximate;
+                plans[act[a]].stage = d.stage;
+                switch (d.stage) {
+                  case DecisionStage::TrivialTf:
+                    ++stats_.trivial_tf;
+                    break;
+                  case DecisionStage::SampleArea:
+                    ++stats_.approx_stage1;
+                    break;
+                  case DecisionStage::FullAf:
+                    ++stats_.full_af;
+                    break;
+                  case DecisionStage::Forced:
+                    if (d.approximate)
+                        ++stats_.trivial_tf;
+                    else
+                        ++stats_.full_af;
+                    break;
+                  case DecisionStage::Distribution:
+                    PARGPU_INVARIANT(false, "stage-2 decision without a "
+                                            "distribution check");
+                }
+            }
+
+            if (d.approximate) {
+                any_approx = any_approx || info.sampleSize > 1;
+                PARGPU_ASSERT(d.lod >= 0.0f && d.lod <= 32.0f,
+                              "decision LOD out of mip-chain bounds: ",
+                              d.lod);
+                // TF at the decision's LOD: one sample per covered
+                // pixel, all at the same level selection — one batch.
+                TexelAddrSet aset[4];
+                Color4f cols[4];
+                Vec2 uvs[4];
+                for (int a = 0; a < n_act; ++a)
+                    uvs[a] = quad.uv[act[a]];
+                qfilter_.filterSamplesAddrs(sampler, uvs, n_act,
+                                            sampler.selectLod(d.lod),
+                                            memo_, aset, cols);
+                for (int a = 0; a < n_act; ++a) {
+                    PixelPlan &plan = plans[act[a]];
+                    plan.color = cols[a];
+                    plan.fetch_samples = 1;
+                    plan.addr_samples += 1;
+                    queueSample(aset[a]);
+                }
+            } else {
+                // Baseline / AF-SSIM(N) kept AF without the distribution
+                // stage: every covered pixel issues the same N samples
+                // at AF's level selection — one batch for the quad.
+                any_keep = any_keep || info.sampleSize > 1;
+                const int n = info.sampleSize;
+                PARGPU_ASSERT(n_act * n <= simd::kMaxLanes,
+                              "quad AF batch exceeds the SoA lane count: ",
+                              n_act * n);
+                std::span<TexelAddrSet> s =
+                    arena_.allocSpanUninit<TexelAddrSet>(
+                        static_cast<std::size_t>(n_act) * n);
+                Color4f cols[simd::kMaxLanes];
+                Vec2 uvs[simd::kMaxLanes];
+                for (int a = 0; a < n_act; ++a)
+                    qfilter_.anisoUvs(quad.uv[act[a]], info,
+                                      uvs + a * static_cast<std::size_t>(n));
+                qfilter_.filterSamplesAddrs(sampler, uvs, n_act * n,
+                                            sampler.selectLod(info.lodAF),
+                                            memo_, s.data(), cols);
+                for (int a = 0; a < n_act; ++a) {
+                    const int i = act[a];
+                    footprints[i] =
+                        s.subspan(static_cast<std::size_t>(a) * n,
+                                  static_cast<std::size_t>(n));
+                    PixelPlan &plan = plans[i];
+                    plan.color = simd::QuadFilter::averageColors(
+                        cols + static_cast<std::size_t>(a) * n, n);
+                    plan.addr_samples = n;
+                    plan.fetch_samples = n;
+                    for (const TexelAddrSet &smp : footprints[i])
+                        queueSample(smp);
+                }
+            }
         }
     }
 
     stats_.lines += lines_.order().size();
     stats_.memo_lookups += memo_.lookups();
     stats_.memo_hits += memo_.hits();
+    stats_.simd_batches += qfilter_.takeBatches();
 
     // --- Timing -----------------------------------------------------
     // Address ALUs: 8 addresses per trilinear sample over addr_alus ALUs

@@ -26,6 +26,7 @@
 #include "mem/memsys.hh"
 #include "sim/config.hh"
 #include "sim/raster.hh"
+#include "simd/filter.hh"
 
 namespace pargpu
 {
@@ -43,6 +44,7 @@ struct TexUnitStats
                                         ///< summed (batched fetch size).
     std::uint64_t memo_lookups = 0;     ///< Footprint-memo probes.
     std::uint64_t memo_hits = 0;        ///< ... that found the footprint.
+    std::uint64_t simd_batches = 0;     ///< SoA kernel invocations.
     Cycle filter_busy = 0;              ///< TU busy cycles (Fig. 18 metric).
     Cycle mem_stall = 0;                ///< Exposed texel-fetch stall.
 
@@ -181,7 +183,7 @@ class TextureUnit
     };
 
     /** Record a sample's lines into the quad batch (no memory access). */
-    void queueSample(const TrilinearSample &s);
+    void queueSample(const TexelAddrSet &addrs);
 
     /**
      * Everything about a quad that does not depend on memory timing:
@@ -200,7 +202,13 @@ class TextureUnit
     TexUnitStats stats_;
     FootprintMemo memo_;   ///< Per-quad footprint cache.
     QuadLineSet lines_;    ///< Per-quad batched line requests.
+    /**
+     * Last line queued per level half (slot 0-3 / 4-7) of the current
+     * quad — a probe-skipping hint for queueSample(); reset per quad.
+     */
+    Addr prev_line_[2] = {~static_cast<Addr>(0), ~static_cast<Addr>(0)};
     BumpArena arena_;      ///< Per-quad AF footprint storage.
+    simd::QuadFilter qfilter_; ///< SoA batch filter (see src/simd/).
 };
 
 } // namespace pargpu

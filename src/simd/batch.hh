@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Structure-of-arrays batch buffers for the texel filtering kernels.
+ *
+ * A batch holds up to kMaxLanes trilinear samples side by side: lane j of
+ * slot s is texel s (of the 8 per sample) of sample j. The kernels in
+ * kernels.hh reduce over the slot axis — each lane accumulates its own
+ * 8-texel weighted sum in slot order, which is exactly the accumulation
+ * order of the scalar reference path (TextureSampler::trilinearInto), so
+ * vectorizing ACROSS lanes never reassociates a sample's sum and the
+ * result is bit-identical to the scalar code.
+ *
+ * Slot rows are kMaxLanes floats and the structs are 32-byte aligned, so
+ * any lane index that is a multiple of the vector width is an aligned
+ * load for both SSE (4 lanes) and AVX2 (8 lanes).
+ */
+
+#ifndef PARGPU_SIMD_BATCH_HH
+#define PARGPU_SIMD_BATCH_HH
+
+namespace pargpu::simd
+{
+
+/**
+ * Widest batch: a whole quad's anisotropic samples in one kernel call
+ * (4 pixels x 16x max anisotropy).
+ */
+inline constexpr int kMaxLanes = 64;
+
+/** Texels per trilinear sample (2x2 footprint at each of two levels). */
+inline constexpr int kMaxSlots = 8;
+
+/** Texel colors, slot-major: r[s][j] is texel s of sample j. */
+struct alignas(32) TexelBatch
+{
+    float r[kMaxSlots][kMaxLanes];
+    float g[kMaxSlots][kMaxLanes];
+    float b[kMaxSlots][kMaxLanes];
+    float a[kMaxSlots][kMaxLanes];
+};
+
+/** Blend weights, slot-major, matching TexelBatch. */
+struct alignas(32) WeightBatch
+{
+    float w[kMaxSlots][kMaxLanes];
+};
+
+} // namespace pargpu::simd
+
+#endif // PARGPU_SIMD_BATCH_HH

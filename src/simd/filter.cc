@@ -1,0 +1,243 @@
+#include "simd/filter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hh"
+#include "simd/kernels.hh"
+
+namespace pargpu::simd
+{
+
+template <bool kFull>
+void
+QuadFilter::gather(const TextureSampler &sampler, const Vec2 *uvs, int n,
+                   const LodSelect &sel, FootprintMemo &memo,
+                   TrilinearSample *out, TexelAddrSet *addrs,
+                   Color4f *colors)
+{
+    PARGPU_CHECK_RANGE(n, 1, kMaxLanes, "batch lane count");
+    const TextureMap &tex = sampler.texture();
+    const KernelOps &ops = activeKernels();
+
+    // The level selection is batch-wide: hoist the per-level constants out
+    // of the sample loop. (Manually — the SoA stores below could alias the
+    // texture's arrays for all the compiler knows, blocking the hoist.)
+    struct LevelCtx
+    {
+        int level;
+        float w, h;     ///< Level dimensions, as the UV scale factors.
+        float level_w;  ///< Trilinear blend weight of this level.
+    };
+    const LevelCtx lctx[2] = {
+        {sel.level0, static_cast<float>(tex.level(sel.level0).width),
+         static_cast<float>(tex.level(sel.level0).height), 1.0f - sel.frac},
+        {sel.level1, static_cast<float>(tex.level(sel.level1).width),
+         static_cast<float>(tex.level(sel.level1).height), sel.frac},
+    };
+
+    // Batches narrower than the active vector width gain nothing from the
+    // slot-major staging: accumulate them directly in the gather loop.
+    // The chain per lane is the same sequential slot-order multiply-add
+    // (separate mul and add — this TU is compiled at the base x86-64 ISA,
+    // which has no FMA to contract into) every kernel implements, so the
+    // result is bit-identical to the staged path on any dispatch tier.
+    const bool direct = n < ops.lanes;
+
+    // Gather: per sample, the same footprint walk as trilinearInto() —
+    // identical address math, blend weights and memo probe order — but
+    // colors land in the slot-major batch instead of being blended
+    // per-texel.
+    for (int i = 0; i < n; ++i) {
+        float acc_r = 0.0f, acc_g = 0.0f, acc_b = 0.0f, acc_a = 0.0f;
+        if constexpr (kFull) {
+            TrilinearSample &s = out[i];
+            s.uv = uvs[i];
+            s.level0 = sel.level0;
+            s.level1 = sel.level1;
+            s.frac = sel.frac;
+        }
+        int slot = 0;
+        for (int li = 0; li < 2; ++li) {
+            const int level = lctx[li].level;
+            const float level_w = lctx[li].level_w;
+            float tu = uvs[i].x * lctx[li].w - 0.5f;
+            float tv = uvs[i].y * lctx[li].h - 0.5f;
+            int x0 = static_cast<int>(std::floor(tu));
+            int y0 = static_cast<int>(std::floor(tv));
+            float fu = tu - x0;
+            float fv = tv - y0;
+            const float bw[4] = {
+                (1.0f - fu) * (1.0f - fv),
+                fu * (1.0f - fv),
+                (1.0f - fu) * fv,
+                fu * fv,
+            };
+            // Footprint by reference: a hit reads straight from the memo
+            // slot, a miss fetches into the slot and reads it back — no
+            // 2x2 copy either way, one hash probe total, and the
+            // lookup/store counter sequence equals the sampler path's.
+            bool hit = false;
+            FootprintMemo::Entry &e = memo.acquire(level, x0, y0, hit);
+            if (!hit)
+                tex.fetchFootprint(level, x0, y0, e.color, e.addr);
+            const int dx[4] = {0, 1, 0, 1};
+            const int dy[4] = {0, 0, 1, 1};
+            for (int k = 0; k < 4; ++k, ++slot) {
+                const float w = bw[k] * level_w;
+                if constexpr (kFull) {
+                    TexelRef &t = out[i].texels[slot];
+                    t.level = level;
+                    t.x = x0 + dx[k];
+                    t.y = y0 + dy[k];
+                    t.weight = w;
+                    t.addr = e.addr[k];
+                } else {
+                    addrs[i][slot] = e.addr[k];
+                }
+                if (direct) {
+                    acc_r += e.color[k].r * w;
+                    acc_g += e.color[k].g * w;
+                    acc_b += e.color[k].b * w;
+                    acc_a += e.color[k].a * w;
+                } else {
+                    tex_.r[slot][i] = e.color[k].r;
+                    tex_.g[slot][i] = e.color[k].g;
+                    tex_.b[slot][i] = e.color[k].b;
+                    tex_.a[slot][i] = e.color[k].a;
+                    wgt_.w[slot][i] = w;
+                }
+            }
+        }
+        if (direct) {
+            out_r_[i] = acc_r;
+            out_g_[i] = acc_g;
+            out_b_[i] = acc_b;
+            out_a_[i] = acc_a;
+        }
+    }
+
+    if (!direct) {
+        // Pad lanes up to the vector width carry zero weights so the
+        // kernel may compute (and discard) them; their colors are
+        // stale-but-finite (the batches start zeroed).
+        const int padded = (n + ops.lanes - 1) / ops.lanes * ops.lanes;
+        for (int i = n; i < padded; ++i)
+            for (int s = 0; s < kMaxSlots; ++s)
+                wgt_.w[s][i] = 0.0f;
+        ops.accumulate(tex_, wgt_, kMaxSlots, n, out_r_, out_g_, out_b_,
+                       out_a_);
+    }
+    ++batches_;
+
+    for (int i = 0; i < n; ++i) {
+        const Color4f c{out_r_[i], out_g_[i], out_b_[i], out_a_[i]};
+        if constexpr (kFull)
+            out[i].color = c;
+        else
+            colors[i] = c;
+    }
+}
+
+void
+QuadFilter::filterSamples(const TextureSampler &sampler, const Vec2 *uvs,
+                          int n, const LodSelect &sel, FootprintMemo &memo,
+                          TrilinearSample *out)
+{
+    gather<true>(sampler, uvs, n, sel, memo, out, nullptr, nullptr);
+}
+
+void
+QuadFilter::filterSamplesAddrs(const TextureSampler &sampler,
+                               const Vec2 *uvs, int n, const LodSelect &sel,
+                               FootprintMemo &memo, TexelAddrSet *addrs,
+                               Color4f *colors)
+{
+    gather<false>(sampler, uvs, n, sel, memo, nullptr, addrs, colors);
+}
+
+Color4f
+QuadFilter::filterTrilinear(const TextureSampler &sampler, const Vec2 &uv,
+                            float lod, FootprintMemo &memo,
+                            TrilinearSample &out)
+{
+    filterSamples(sampler, &uv, 1, sampler.selectLod(lod), memo, &out);
+    return out.color;
+}
+
+int
+QuadFilter::anisoUvs(const Vec2 &uv, const AnisotropyInfo &info, Vec2 *out)
+{
+    const int n = info.sampleSize;
+    // Sample placement identical to filterAnisotropicInto(): centers
+    // confined to the ellipse interior along the major axis.
+    float span = info.pMax > 0.0f
+        ? std::max(0.0f, 1.0f - info.pMin / info.pMax) : 0.0f;
+    for (int i = 0; i < n; ++i) {
+        float t = span * (2.0f * i - n + 1.0f) / (2.0f * n);
+        out[i] = Vec2{uv.x + info.majorUv.x * t,
+                      uv.y + info.majorUv.y * t};
+    }
+    return n;
+}
+
+Color4f
+QuadFilter::averageColors(const TrilinearSample *samples, int n)
+{
+    Color4f acc{0, 0, 0, 0};
+    for (int i = 0; i < n; ++i)
+        acc += samples[i].color * (1.0f / static_cast<float>(n));
+    return acc;
+}
+
+Color4f
+QuadFilter::averageColors(const Color4f *colors, int n)
+{
+    Color4f acc{0, 0, 0, 0};
+    for (int i = 0; i < n; ++i)
+        acc += colors[i] * (1.0f / static_cast<float>(n));
+    return acc;
+}
+
+Color4f
+QuadFilter::filterAnisotropic(const TextureSampler &sampler, const Vec2 &uv,
+                              const AnisotropyInfo &info,
+                              FootprintMemo &memo, TrilinearSample *out)
+{
+    const int n = info.sampleSize;
+    PARGPU_CHECK_RANGE(n, 1, kMaxLanes, "anisotropic sample count");
+    const LodSelect sel = sampler.selectLod(info.lodAF);
+    Vec2 uvs[kMaxLanes];
+    anisoUvs(uv, info, uvs);
+    filterSamples(sampler, uvs, n, sel, memo, out);
+    return averageColors(out, n);
+}
+
+Color4f
+QuadFilter::filterTrilinearAddrs(const TextureSampler &sampler,
+                                 const Vec2 &uv, float lod,
+                                 FootprintMemo &memo, TexelAddrSet &addrs)
+{
+    Color4f color;
+    filterSamplesAddrs(sampler, &uv, 1, sampler.selectLod(lod), memo,
+                       &addrs, &color);
+    return color;
+}
+
+Color4f
+QuadFilter::filterAnisotropicAddrs(const TextureSampler &sampler,
+                                   const Vec2 &uv,
+                                   const AnisotropyInfo &info,
+                                   FootprintMemo &memo, TexelAddrSet *addrs,
+                                   Color4f *colors)
+{
+    const int n = info.sampleSize;
+    PARGPU_CHECK_RANGE(n, 1, kMaxLanes, "anisotropic sample count");
+    const LodSelect sel = sampler.selectLod(info.lodAF);
+    Vec2 uvs[kMaxLanes];
+    anisoUvs(uv, info, uvs);
+    filterSamplesAddrs(sampler, uvs, n, sel, memo, addrs, colors);
+    return averageColors(colors, n);
+}
+
+} // namespace pargpu::simd

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Batched quad filtering on top of the SoA kernels.
+ *
+ * QuadFilter is the texture unit's replacement for the per-texel blend
+ * loops in TextureSampler: it gathers the texels of up to kMaxLanes
+ * trilinear samples into slot-major SoA batches — footprints served by
+ * reference from the per-quad FootprintMemo, misses fetched block-at-a-
+ * time through TextureMap::fetchFootprint — runs one weight-accumulation
+ * kernel call (dispatch.hh picks the tier), and scatters the colors back.
+ *
+ * Everything observable is bit-identical to the scalar sampler paths:
+ * the per-sample FP accumulation chain (see kernels.hh), the TexelRef
+ * streams, and the memo lookup/store sequence (which drives the
+ * texunit.memo_* counters) are all preserved exactly.
+ */
+
+#ifndef PARGPU_SIMD_FILTER_HH
+#define PARGPU_SIMD_FILTER_HH
+
+#include <cstdint>
+
+#include "common/color.hh"
+#include "common/types.hh"
+#include "common/vec.hh"
+#include "simd/batch.hh"
+#include "texture/sampler.hh"
+
+namespace pargpu::simd
+{
+
+/**
+ * Per-texture-unit batch filter. Holds the SoA staging buffers (a few KB,
+ * allocation-free after construction); not thread-safe — each texture
+ * unit owns one, like its FootprintMemo.
+ */
+class QuadFilter
+{
+  public:
+    /**
+     * Filter @p n trilinear samples centered at @p uvs[0..n) under the
+     * shared level selection @p sel, through @p memo. Fills @p out[i]
+     * exactly as TextureSampler::trilinearInto would (uv, levels, the
+     * 8 TexelRefs, color) and issues the same memo lookup/store sequence
+     * in sample order. One kernel call per invocation.
+     */
+    void filterSamples(const TextureSampler &sampler, const Vec2 *uvs,
+                       int n, const LodSelect &sel, FootprintMemo &memo,
+                       TrilinearSample *out);
+
+    /** Batched equivalent of TextureSampler::filterTrilinearInto(). */
+    Color4f filterTrilinear(const TextureSampler &sampler, const Vec2 &uv,
+                            float lod, FootprintMemo &memo,
+                            TrilinearSample &out);
+
+    /** Batched equivalent of TextureSampler::filterAnisotropicInto(). */
+    Color4f filterAnisotropic(const TextureSampler &sampler,
+                              const Vec2 &uv, const AnisotropyInfo &info,
+                              FootprintMemo &memo, TrilinearSample *out);
+
+    /**
+     * The AF sample placement of filterAnisotropic(): writes the
+     * info.sampleSize sample centers for a pixel at @p uv into @p out
+     * and returns the count. Lets a caller concatenate several pixels'
+     * samples into one filterSamples() batch.
+     */
+    static int anisoUvs(const Vec2 &uv, const AnisotropyInfo &info,
+                        Vec2 *out);
+
+    /**
+     * The AF sample average of filterAnisotropic(): mean of @p n sample
+     * colors in sample order, with the same FP operation sequence.
+     */
+    static Color4f averageColors(const TrilinearSample *samples, int n);
+
+    /** averageColors() over a plain color array (compact path). */
+    static Color4f averageColors(const Color4f *colors, int n);
+
+    // --- Compact path -------------------------------------------------
+    // The simulator consumes only each sample's 8 texel addresses (fetch
+    // bookkeeping, the PATU hash table) and its filtered color; the
+    // compact variants skip materializing full TrilinearSample records
+    // (~230 B/sample of stores) and emit exactly those two outputs. Same
+    // gather loop (one template), so colors, addresses and the memo
+    // probe sequence are bit-identical to the full variants.
+
+    /** filterSamples() emitting only addresses and colors. */
+    void filterSamplesAddrs(const TextureSampler &sampler, const Vec2 *uvs,
+                            int n, const LodSelect &sel,
+                            FootprintMemo &memo, TexelAddrSet *addrs,
+                            Color4f *colors);
+
+    /** filterTrilinear() emitting only the address set. */
+    Color4f filterTrilinearAddrs(const TextureSampler &sampler,
+                                 const Vec2 &uv, float lod,
+                                 FootprintMemo &memo, TexelAddrSet &addrs);
+
+    /**
+     * filterAnisotropic() emitting addresses and per-sample colors
+     * (info.sampleSize of each); returns the averaged pixel color.
+     */
+    Color4f filterAnisotropicAddrs(const TextureSampler &sampler,
+                                   const Vec2 &uv,
+                                   const AnisotropyInfo &info,
+                                   FootprintMemo &memo, TexelAddrSet *addrs,
+                                   Color4f *colors);
+
+    /** Kernel invocations since the last call; drains to zero. */
+    std::uint64_t
+    takeBatches()
+    {
+        std::uint64_t b = batches_;
+        batches_ = 0;
+        return b;
+    }
+
+  private:
+    /**
+     * The one gather-accumulate-scatter loop behind both variants:
+     * kFull writes TrilinearSample records to @p out, compact writes
+     * address sets and colors to @p addrs / @p colors.
+     */
+    template <bool kFull>
+    void gather(const TextureSampler &sampler, const Vec2 *uvs, int n,
+                const LodSelect &sel, FootprintMemo &memo,
+                TrilinearSample *out, TexelAddrSet *addrs,
+                Color4f *colors);
+
+    TexelBatch tex_{};
+    WeightBatch wgt_{};
+    alignas(32) float out_r_[kMaxLanes] = {};
+    alignas(32) float out_g_[kMaxLanes] = {};
+    alignas(32) float out_b_[kMaxLanes] = {};
+    alignas(32) float out_a_[kMaxLanes] = {};
+    std::uint64_t batches_ = 0;
+};
+
+} // namespace pargpu::simd
+
+#endif // PARGPU_SIMD_FILTER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The weight-accumulation kernel family behind the texel filtering paths.
+ *
+ * One kernel shape serves all three filters: bilinear is a 4-slot
+ * accumulation, trilinear an 8-slot one, and anisotropic filtering an
+ * 8-slot accumulation over N lanes (one lane per AF sample). Each lane j
+ * computes, per channel,
+ *
+ *     out[j] = sum over s in [0, slots) of color[s][j] * weight[s][j]
+ *
+ * accumulated from 0.0f in slot order with separate multiply and add —
+ * the exact FP operation chain of the scalar reference
+ * (TextureSampler::trilinearInto), so every tier is bit-identical. The
+ * vector variants parallelize across lanes only; none uses FMA.
+ *
+ * This header is deliberately free of intrinsics and of inline float
+ * math: the AVX2 translation unit is compiled with -mavx2, and anything
+ * inline shared with portable TUs would be an ODR hazard.
+ */
+
+#ifndef PARGPU_SIMD_KERNELS_HH
+#define PARGPU_SIMD_KERNELS_HH
+
+#include "simd/batch.hh"
+
+namespace pargpu::simd
+{
+
+/** One tier's kernel implementations (see activeKernels()). */
+struct KernelOps
+{
+    /**
+     * Accumulate @p slots texels per lane over lanes [0, lanes).
+     *
+     * Output arrays must hold kMaxLanes floats, 32-byte aligned; lanes
+     * are processed in vector-width chunks, so up to the next multiple
+     * of the width of pad lanes are read (callers zero their weights)
+     * and written beyond @p lanes.
+     */
+    void (*accumulate)(const TexelBatch &tex, const WeightBatch &wgt,
+                       int slots, int lanes, float *out_r, float *out_g,
+                       float *out_b, float *out_a);
+    int lanes;        ///< Vector width in samples.
+    const char *name; ///< Matches tierName().
+};
+
+/** The scalar reference kernels (always available). */
+const KernelOps &scalarKernels();
+
+/** SSE kernels; defined only in -DPARGPU_SIMD=ON builds. */
+const KernelOps &sseKernels();
+
+/** AVX2 kernels; defined only in -DPARGPU_SIMD=ON builds. */
+const KernelOps &avx2Kernels();
+
+/** Kernels of the process-wide active tier (dispatch.hh). */
+const KernelOps &activeKernels();
+
+} // namespace pargpu::simd
+
+#endif // PARGPU_SIMD_KERNELS_HH

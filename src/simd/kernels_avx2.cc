@@ -1,0 +1,55 @@
+// Compiled with -mavx2 (see CMakeLists.txt); keep this TU free of any
+// inline code shared with portable translation units.
+#include <immintrin.h>
+
+#include "simd/kernels.hh"
+
+namespace pargpu::simd
+{
+
+namespace
+{
+
+/**
+ * 8 lanes per step. vmulps + vaddps, never vfmadd (the build does not
+ * enable FMA and the intrinsics are not contractable), so each lane's
+ * chain is bit-identical to accumulateScalar().
+ */
+void
+accumulateAvx2(const TexelBatch &tex, const WeightBatch &wgt, int slots,
+               int lanes, float *out_r, float *out_g, float *out_b,
+               float *out_a)
+{
+    for (int j = 0; j < lanes; j += 8) {
+        __m256 r = _mm256_setzero_ps();
+        __m256 g = _mm256_setzero_ps();
+        __m256 b = _mm256_setzero_ps();
+        __m256 a = _mm256_setzero_ps();
+        for (int s = 0; s < slots; ++s) {
+            const __m256 w = _mm256_load_ps(&wgt.w[s][j]);
+            r = _mm256_add_ps(
+                r, _mm256_mul_ps(_mm256_load_ps(&tex.r[s][j]), w));
+            g = _mm256_add_ps(
+                g, _mm256_mul_ps(_mm256_load_ps(&tex.g[s][j]), w));
+            b = _mm256_add_ps(
+                b, _mm256_mul_ps(_mm256_load_ps(&tex.b[s][j]), w));
+            a = _mm256_add_ps(
+                a, _mm256_mul_ps(_mm256_load_ps(&tex.a[s][j]), w));
+        }
+        _mm256_store_ps(out_r + j, r);
+        _mm256_store_ps(out_g + j, g);
+        _mm256_store_ps(out_b + j, b);
+        _mm256_store_ps(out_a + j, a);
+    }
+}
+
+} // namespace
+
+const KernelOps &
+avx2Kernels()
+{
+    static const KernelOps ops{accumulateAvx2, 8, "avx2"};
+    return ops;
+}
+
+} // namespace pargpu::simd

@@ -1,0 +1,50 @@
+#include <emmintrin.h>
+
+#include "simd/kernels.hh"
+
+namespace pargpu::simd
+{
+
+namespace
+{
+
+/**
+ * 4 lanes per step. mulps + addps perform the same IEEE multiply and add
+ * as the scalar chain lane-wise (no contraction to FMA is possible: the
+ * intrinsics map to fixed instructions), so results are bit-identical to
+ * accumulateScalar().
+ */
+void
+accumulateSse(const TexelBatch &tex, const WeightBatch &wgt, int slots,
+              int lanes, float *out_r, float *out_g, float *out_b,
+              float *out_a)
+{
+    for (int j = 0; j < lanes; j += 4) {
+        __m128 r = _mm_setzero_ps();
+        __m128 g = _mm_setzero_ps();
+        __m128 b = _mm_setzero_ps();
+        __m128 a = _mm_setzero_ps();
+        for (int s = 0; s < slots; ++s) {
+            const __m128 w = _mm_load_ps(&wgt.w[s][j]);
+            r = _mm_add_ps(r, _mm_mul_ps(_mm_load_ps(&tex.r[s][j]), w));
+            g = _mm_add_ps(g, _mm_mul_ps(_mm_load_ps(&tex.g[s][j]), w));
+            b = _mm_add_ps(b, _mm_mul_ps(_mm_load_ps(&tex.b[s][j]), w));
+            a = _mm_add_ps(a, _mm_mul_ps(_mm_load_ps(&tex.a[s][j]), w));
+        }
+        _mm_store_ps(out_r + j, r);
+        _mm_store_ps(out_g + j, g);
+        _mm_store_ps(out_b + j, b);
+        _mm_store_ps(out_a + j, a);
+    }
+}
+
+} // namespace
+
+const KernelOps &
+sseKernels()
+{
+    static const KernelOps ops{accumulateSse, 4, "sse"};
+    return ops;
+}
+
+} // namespace pargpu::simd

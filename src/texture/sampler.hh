@@ -120,14 +120,87 @@ class FootprintMemo
   public:
     static constexpr int kSlots = 128; ///< >= footprints of a 16x AF quad.
 
+    /** One cached footprint: key plus the four texel colors/addresses. */
+    struct Entry
+    {
+        std::uint32_t gen = 0; ///< Valid iff equal to the memo's stamp.
+        int level = 0;
+        int x0 = 0;
+        int y0 = 0;
+        Color4f color[4];
+        Addr addr[4];
+    };
+
     /** Forget all entries and zero the counters (start of a quad). */
     void
     reset()
     {
-        for (Entry &e : slots_)
-            e.valid = false;
+        // Bumping the generation stamp invalidates all slots in O(1)
+        // instead of walking ~14 KB of entries; on the (rare) wraparound
+        // the stamps are cleared for real.
+        if (++gen_ == 0) {
+            for (Entry &e : slots_)
+                e.gen = 0;
+            gen_ = 1;
+        }
         lookups_ = 0;
         hits_ = 0;
+    }
+
+    /**
+     * By-reference lookup: counts the probe and, on a hit, the hit, and
+     * returns the resident entry — valid until the next insert() or
+     * reset(). Returns nullptr on a miss. Avoids the 2x2 copies of
+     * lookup()/store() for callers that read the footprint in place.
+     */
+    const Entry *
+    find(int level, int x0, int y0)
+    {
+        ++lookups_;
+        const Entry &e = slots_[slotOf(level, x0, y0)];
+        if (e.gen != gen_ || e.level != level || e.x0 != x0 || e.y0 != y0)
+            return nullptr;
+        ++hits_;
+        return &e;
+    }
+
+    /**
+     * Claim the slot for a missed footprint (evicting any collision) and
+     * return it with the key set; the caller fills color/addr in place.
+     */
+    Entry &
+    insert(int level, int x0, int y0)
+    {
+        Entry &e = slots_[slotOf(level, x0, y0)];
+        e.gen = gen_;
+        e.level = level;
+        e.x0 = x0;
+        e.y0 = y0;
+        return e;
+    }
+
+    /**
+     * Combined find()+insert(): one hash probe either way. Sets @p hit
+     * and counts the probe (and the hit) exactly as find() followed by
+     * insert() on a miss would; on a miss the returned entry has the key
+     * set and the caller fills color/addr in place.
+     */
+    Entry &
+    acquire(int level, int x0, int y0, bool &hit)
+    {
+        ++lookups_;
+        Entry &e = slots_[slotOf(level, x0, y0)];
+        hit = e.gen == gen_ && e.level == level && e.x0 == x0 &&
+            e.y0 == y0;
+        if (hit) {
+            ++hits_;
+        } else {
+            e.gen = gen_;
+            e.level = level;
+            e.x0 = x0;
+            e.y0 = y0;
+        }
+        return e;
     }
 
     /**
@@ -137,14 +210,12 @@ class FootprintMemo
     bool
     lookup(int level, int x0, int y0, Color4f color[4], Addr addr[4])
     {
-        ++lookups_;
-        const Entry &e = slots_[slotOf(level, x0, y0)];
-        if (!e.valid || e.level != level || e.x0 != x0 || e.y0 != y0)
+        const Entry *e = find(level, x0, y0);
+        if (e == nullptr)
             return false;
-        ++hits_;
         for (int i = 0; i < 4; ++i) {
-            color[i] = e.color[i];
-            addr[i] = e.addr[i];
+            color[i] = e->color[i];
+            addr[i] = e->addr[i];
         }
         return true;
     }
@@ -154,11 +225,7 @@ class FootprintMemo
     store(int level, int x0, int y0, const Color4f color[4],
           const Addr addr[4])
     {
-        Entry &e = slots_[slotOf(level, x0, y0)];
-        e.valid = true;
-        e.level = level;
-        e.x0 = x0;
-        e.y0 = y0;
+        Entry &e = insert(level, x0, y0);
         for (int i = 0; i < 4; ++i) {
             e.color[i] = color[i];
             e.addr[i] = addr[i];
@@ -169,16 +236,6 @@ class FootprintMemo
     std::uint64_t hits() const { return hits_; }
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        int level = 0;
-        int x0 = 0;
-        int y0 = 0;
-        Color4f color[4];
-        Addr addr[4];
-    };
-
     static std::size_t
     slotOf(int level, int x0, int y0)
     {
@@ -189,6 +246,7 @@ class FootprintMemo
     }
 
     Entry slots_[kSlots];
+    std::uint32_t gen_ = 1; ///< Current generation stamp (0 = never valid).
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
 };

@@ -141,16 +141,35 @@ TextureMap::fetchTexel(int level, int x, int y) const
 }
 
 void
-TextureMap::fetchFootprint(int level, int x0, int y0, Color4f color[4],
-                           Addr addr[4]) const
+TextureMap::fetchFootprintSlow(const LevelGeom &g, int level,
+                               const int wx[2], const int wy[2],
+                               Color4f color[4], Addr addr[4]) const
 {
-    PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "fetchFootprint level");
-    const LevelGeom &g = geom_[static_cast<std::size_t>(level)];
     const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
-    // Wrap the two columns and two rows once; the four texels are every
-    // (column, row) combination in the trilinear slot order.
-    const int wx[2] = {wrapFast(x0, g.wmask), wrapFast(x0 + 1, g.wmask)};
-    const int wy[2] = {wrapFast(y0, g.hmask), wrapFast(y0 + 1, g.hmask)};
+    if (format_ == StorageFormat::RGBA8) {
+        // Same math as texelOffset()/texelColor(), with the format and
+        // storage dispatch hoisted out of the four-texel loop.
+        const bool morton = lv.storage == TexelStorage::Morton &&
+            lv.width >= 4 && lv.height >= 4;
+        const RGBA8 *texels = lv.texels.data();
+        for (int i = 0; i < 4; ++i) {
+            int cx = wx[i & 1];
+            int cy = wy[i >> 1];
+            addr[i] = baseAddr_ + texelOffset(g, cx, cy);
+            std::size_t idx;
+            if (morton) {
+                std::size_t tile = static_cast<std::size_t>(cy >> 2) *
+                        static_cast<std::size_t>(lv.width >> 2) +
+                    static_cast<std::size_t>(cx >> 2);
+                idx = tile * 16 +
+                    kMortonInTile4x4[((cy & 3) << 2) | (cx & 3)];
+            } else {
+                idx = static_cast<std::size_t>(cy) * lv.width + cx;
+            }
+            color[i] = unpackRGBA8(texels[idx]);
+        }
+        return;
+    }
     for (int i = 0; i < 4; ++i) {
         int cx = wx[i & 1];
         int cy = wy[i >> 1];

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/color.hh"
+#include "common/contract.hh"
 #include "common/types.hh"
 #include "texture/compress.hh"
 
@@ -200,6 +201,11 @@ class TextureMap
         Bytes offset = 0;           ///< Byte offset of the level.
     };
 
+    /** fetchFootprint() general case: wraps, clamps, BC1, narrow levels. */
+    void fetchFootprintSlow(const LevelGeom &g, int level, const int wx[2],
+                            const int wy[2], Color4f color[4],
+                            Addr addr[4]) const;
+
     /** Wrap a coordinate with the precomputed mask (Repeat) or clamp. */
     int
     wrapFast(int c, int mask) const
@@ -248,6 +254,60 @@ class TextureMap
     Addr baseAddr_ = 0;
     Bytes sizeBytes_ = 0;
 };
+
+inline void
+TextureMap::fetchFootprint(int level, int x0, int y0, Color4f color[4],
+                           Addr addr[4]) const
+{
+    PARGPU_CHECK_RANGE(level, 0, numLevels() - 1, "fetchFootprint level");
+    const LevelGeom &g = geom_[static_cast<std::size_t>(level)];
+    const MipLevel &lv = levels_[static_cast<std::size_t>(level)];
+    // Wrap the two columns and two rows once; the four texels are every
+    // (column, row) combination in the trilinear slot order.
+    const int wx[2] = {wrapFast(x0, g.wmask), wrapFast(x0 + 1, g.wmask)};
+    const int wy[2] = {wrapFast(y0, g.hmask), wrapFast(y0 + 1, g.hmask)};
+    // Fast path, inline so the SoA gather loop can fold it in: a footprint
+    // that neither wraps nor clamps and stays inside one 4x4 Morton tile
+    // ((x0 & 3) < 3 in both axes — 9/16 of corner positions). All four
+    // host texels then live in the corner's tile at Z-indices read from
+    // kMortonInTile4x4, so one tile-base computation serves all four
+    // colors; the simulated addresses are the corner's plus fixed layout
+    // deltas (the Tiled4x4 sim layout is row-major within a tile, so
+    // (x+1, y) is +1 texel and (x, y+1) is +4). Colors and addresses are
+    // bit-identical to the general path.
+    if (format_ == StorageFormat::RGBA8 &&
+        lv.storage == TexelStorage::Morton && lv.width >= 4 &&
+        lv.height >= 4 && (wx[0] & 3) < 3 && (wy[0] & 3) < 3 &&
+        wx[1] == wx[0] + 1 && wy[1] == wy[0] + 1) {
+        const std::size_t tile_base =
+            (static_cast<std::size_t>(wy[0] >> 2) *
+                 static_cast<std::size_t>(lv.width >> 2) +
+             static_cast<std::size_t>(wx[0] >> 2)) *
+            16;
+        const RGBA8 *tile = &lv.texels[tile_base];
+        const int sub = ((wy[0] & 3) << 2) | (wx[0] & 3);
+        color[0] = unpackRGBA8(tile[kMortonInTile4x4[sub]]);
+        color[1] = unpackRGBA8(tile[kMortonInTile4x4[sub + 1]]);
+        color[2] = unpackRGBA8(tile[kMortonInTile4x4[sub + 4]]);
+        color[3] = unpackRGBA8(tile[kMortonInTile4x4[sub + 5]]);
+        const Addr a0 = baseAddr_ + texelOffset(g, wx[0], wy[0]);
+        if (g.tiled) {
+            addr[0] = a0;
+            addr[1] = a0 + RGBA8::kBytes;
+            addr[2] = a0 + 4 * RGBA8::kBytes;
+            addr[3] = a0 + 5 * RGBA8::kBytes;
+        } else {
+            const Bytes row = static_cast<Bytes>(RGBA8::kBytes)
+                << g.row_shift;
+            addr[0] = a0;
+            addr[1] = a0 + RGBA8::kBytes;
+            addr[2] = a0 + row;
+            addr[3] = a0 + row + RGBA8::kBytes;
+        }
+        return;
+    }
+    fetchFootprintSlow(g, level, wx, wy, color, addr);
+}
 
 } // namespace pargpu
 

@@ -15,8 +15,8 @@ TEST(FramebufferTest, ClearSetsColorEverywhere)
     fb.clear({0.1f, 0.2f, 0.3f, 1.0f});
     for (int y = 0; y < 6; ++y) {
         for (int x = 0; x < 8; ++x) {
-            EXPECT_FLOAT_EQ(fb.color().at(x, y).r, 0.1f);
-            EXPECT_FLOAT_EQ(fb.color().at(x, y).b, 0.3f);
+            EXPECT_FLOAT_EQ(fb.colorAt(x, y).r, 0.1f);
+            EXPECT_FLOAT_EQ(fb.colorAt(x, y).b, 0.3f);
         }
     }
 }
@@ -56,8 +56,23 @@ TEST(FramebufferTest, WriteColorSticks)
     Framebuffer fb(4, 4);
     fb.clear({0, 0, 0, 1});
     fb.writeColor(2, 3, {1, 0.5f, 0.25f, 1});
-    EXPECT_FLOAT_EQ(fb.color().at(2, 3).r, 1.0f);
-    EXPECT_FLOAT_EQ(fb.color().at(2, 3).g, 0.5f);
+    EXPECT_FLOAT_EQ(fb.colorAt(2, 3).r, 1.0f);
+    EXPECT_FLOAT_EQ(fb.colorAt(2, 3).g, 0.5f);
+}
+
+TEST(FramebufferTest, ArenaBackedBehavesLikeOwning)
+{
+    BumpArena arena;
+    Framebuffer fb(8, 6, arena);
+    fb.clear({0.25f, 0, 0, 1});
+    EXPECT_TRUE(fb.depthTest(3, 2, 0.5f));
+    EXPECT_FALSE(fb.depthTest(3, 2, 0.6f));
+    fb.writeColor(3, 2, {1, 1, 1, 1});
+    EXPECT_FLOAT_EQ(fb.colorAt(3, 2).r, 1.0f);
+    EXPECT_FLOAT_EQ(fb.colorAt(0, 0).r, 0.25f);
+    Image img = fb.toImage();
+    EXPECT_FLOAT_EQ(img.at(3, 2).r, 1.0f);
+    EXPECT_FLOAT_EQ(img.at(7, 5).r, 0.25f);
 }
 
 TEST(FramebufferTest, PixelAddressesAreDistinctAndOrdered)

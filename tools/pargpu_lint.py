@@ -20,6 +20,9 @@ clang-tidy covers out of the box:
   metrics-doc  every stat name registered in code (a dotted "a.b.c"
                string literal passed to .inc()/.set()/.observe()) must be
                documented in docs/METRICS.md
+  intrinsics   no x86 SIMD intrinsics (_mm_* / _mm256_*) outside
+               src/simd/ — the kernel layer owns all vector code, and
+               everything above it must stay portable scalar C++
 
 One rule runs over examples/ and bench/ instead of src/:
 
@@ -47,7 +50,7 @@ import subprocess
 import sys
 
 RULES = ("rand", "raw-new", "float-eq", "include-cc", "cout", "header-self",
-         "file-doc", "metrics-doc", "internal-include")
+         "file-doc", "metrics-doc", "internal-include", "intrinsics")
 
 FLOAT_LIT = r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)f?"
 
@@ -65,6 +68,8 @@ RE_STAT_CALL = re.compile(r"\.\s*(?:inc|set|observe)\s*\(")
 # runtime prefix (".tex_l1.hits", as in prefix + ".tex_l1.hits").
 RE_STAT_NAME = re.compile(r'"(\.?[a-z0-9_]+(?:\.[a-z0-9_]+)+)"')
 RE_QUOTED_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
+# x86 vector intrinsics: _mm_add_ps, _mm256_fmadd_ps, _mm512_...
+RE_INTRIN = re.compile(r"\b_mm\d*_[A-Za-z0-9_]+")
 
 SOURCE_EXTS = (".cc", ".hh", ".h", ".cpp")
 
@@ -184,6 +189,10 @@ def check_file(root, rel, allow, violations, metrics_doc):
     if not in_harness:
         line_rules.append(
             ("cout", RE_COUT, False, "std::cout outside harness/CLI layers"))
+    if not rel.replace(os.sep, "/").startswith("src/simd/"):
+        line_rules.append(
+            ("intrinsics", RE_INTRIN, False,
+             "x86 intrinsic outside src/simd/; use the kernel layer"))
 
     for lineno, code in enumerate(code_lines, start=1):
         raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
@@ -234,8 +243,14 @@ def check_internal_include(root, rel, allow, violations):
         raw_lines = f.read().splitlines()
     for lineno, raw in enumerate(raw_lines, start=1):
         prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+        allowed_here = inline_allows(raw) | inline_allows(prev)
+        if ("intrinsics", rel) not in allow and \
+                "intrinsics" not in allowed_here and RE_INTRIN.search(raw):
+            violations.append(
+                (rel, lineno, "intrinsics",
+                 "x86 intrinsic outside src/simd/; use the kernel layer"))
         if ("internal-include", rel) in allow or \
-                "internal-include" in inline_allows(raw) | inline_allows(prev):
+                "internal-include" in allowed_here:
             continue
         m = RE_QUOTED_INCLUDE.search(raw)
         if not m:
