@@ -3,22 +3,31 @@
 # under every supported analysis configuration and fails loudly on the
 # first problem.
 #
-#   1. Release + contracts (-DPARGPU_CHECKS=ON) + -Werror, full ctest
-#   2. AddressSanitizer build, full ctest
-#   3. UndefinedBehaviorSanitizer build (no-recover), full ctest
-#   4. ThreadSanitizer build, threading-focused ctest subset, run twice:
-#      as-is and again with PARGPU_TILE_PARALLEL=1 so the intra-frame
-#      tile-parallel fragment phase is exercised under TSAN
-#   5. -DPARGPU_TRACING=OFF build (macros compiled out), tracing subset
-#   6. pargpu-lint standalone (includes header self-containment builds)
-#   7. clang-tidy over src/ (skipped with a note when not installed)
-#   8. perf gate: perf_smoke's texel-bound export and perf_tile's
-#      tile-parallel export diffed against the committed baselines
-#      (bench/baselines/) with --fail-on-regress
-#   9. SIMD bit-identity: -DPARGPU_SIMD=OFF build vs the ON build —
-#      determinism subset + simd_kernel_test under both, then the
-#      harness metrics exports diffed field-by-field (only the
-#      dispatch-reporting fields may differ)
+#    1. Release + contracts (-DPARGPU_CHECKS=ON) + -Werror, full ctest
+#    2. AddressSanitizer build, full ctest
+#    3. UndefinedBehaviorSanitizer build (no-recover), full ctest
+#    4. ThreadSanitizer build, threading-focused ctest subset, run twice:
+#       as-is and again with PARGPU_TILE_PARALLEL=1 so the intra-frame
+#       tile-parallel fragment phase is exercised under TSAN
+#    5. -DPARGPU_TRACING=OFF build (macros compiled out), tracing subset
+#    6. pargpu-lint standalone (includes header self-containment builds)
+#    7. clang-tidy over src/ (skipped with a note when not installed)
+#    8. perf gate: perf_smoke's texel-bound export and perf_tile's
+#       tile-parallel export diffed against the committed baselines
+#       (bench/baselines/) with --fail-on-regress
+#    9. SIMD bit-identity: -DPARGPU_SIMD=OFF build vs the ON build —
+#       determinism subset + simd_kernel_test under both, then the
+#       harness metrics exports diffed field-by-field (only the
+#       dispatch-reporting fields may differ)
+#   10. pargpu-analyze (concurrency & determinism AST rules) plus the
+#       fixture selftest that proves every rule fires
+#   11. Clang Thread Safety Analysis build (-DPARGPU_TSA=ON with
+#       -Werror=thread-safety; skipped with a note when clang++ is not
+#       installed)
+#
+# Each stage is timed; a PASS/SKIP/FAIL summary table is printed at the
+# end (or at the first failure). Skipped stages announce themselves
+# with a greppable "SKIP:" line.
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -34,9 +43,46 @@ done
 
 cd "$ROOT"
 
-stage() {
+# --- stage runner ---------------------------------------------------------
+# Stage bodies are functions. run_stage executes one in a subshell with
+# errexit live (so any failing command aborts the stage), records
+# PASS/SKIP/FAIL plus wall time, and stops the matrix at the first
+# failure. A body signals SKIP by printing "SKIP: <reason>" and
+# returning $SKIP_RC.
+SKIP_RC=99
+SUMMARY=()
+
+summary() {
     echo
-    echo "==== check.sh: $* ===="
+    echo "==== check.sh summary ===="
+    printf '%-7s %-52s %s\n' "status" "stage" "time"
+    local row st nm tm
+    for row in "${SUMMARY[@]}"; do
+        IFS='|' read -r st nm tm <<<"$row"
+        printf '%-7s %-52s %4ss\n' "$st" "$nm" "$tm"
+    done
+}
+
+run_stage() {
+    local name="$1" fn="$2" rc=0 t0 t1
+    echo
+    echo "==== check.sh: $name ===="
+    t0=$(date +%s)
+    set +e
+    ( set -euo pipefail; "$fn" )
+    rc=$?
+    set -e
+    t1=$(date +%s)
+    case "$rc" in
+    0) SUMMARY+=("PASS|$name|$((t1 - t0))") ;;
+    "$SKIP_RC") SUMMARY+=("SKIP|$name|$((t1 - t0))") ;;
+    *)
+        SUMMARY+=("FAIL|$name|$((t1 - t0))")
+        summary
+        echo "check.sh: stage '$name' failed (exit $rc)" >&2
+        exit 1
+        ;;
+    esac
 }
 
 configure_build_test() {
@@ -51,99 +97,114 @@ configure_build_test() {
     ctest --test-dir "$dir" "${ctest_args[@]}"
 }
 
-stage "1/9 Release + contracts + -Werror"
-configure_build_test build-check \
-    -DCMAKE_BUILD_TYPE=Release -DPARGPU_CHECKS=ON -DPARGPU_WERROR=ON
+# --- stages ---------------------------------------------------------------
 
-stage "2/9 AddressSanitizer"
-configure_build_test build-asan \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_ASAN=ON -DPARGPU_CHECKS=ON
+stage_release() {
+    configure_build_test build-check \
+        -DCMAKE_BUILD_TYPE=Release -DPARGPU_CHECKS=ON -DPARGPU_WERROR=ON
+}
 
-stage "3/9 UndefinedBehaviorSanitizer"
-configure_build_test build-ubsan \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_UBSAN=ON -DPARGPU_CHECKS=ON
+stage_asan() {
+    configure_build_test build-asan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_ASAN=ON -DPARGPU_CHECKS=ON
+}
 
-stage "4/9 ThreadSanitizer (threading subset)"
-cmake -B build-tsan -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_TSAN=ON \
-    >build-tsan.configure.log 2>&1 || { cat build-tsan.configure.log >&2; exit 1; }
-cmake --build build-tsan -j "$JOBS"
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test"
-# Second pass with tile parallelism forced on: every renderFrame() in the
-# subset fans its fragment phase out across clusters, so TSAN sees the
-# per-cluster sharding and the ordered commit pass.
-PARGPU_TILE_PARALLEL=1 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R "determinism_test|pipeline_test|integration_test"
+stage_ubsan() {
+    configure_build_test build-ubsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_UBSAN=ON -DPARGPU_CHECKS=ON
+}
 
-stage "5/9 tracing compiled out (-DPARGPU_TRACING=OFF)"
-cmake -B build-notrace -S . \
-    -DCMAKE_BUILD_TYPE=Release -DPARGPU_TRACING=OFF \
-    >build-notrace.configure.log 2>&1 || { cat build-notrace.configure.log >&2; exit 1; }
-cmake --build build-notrace -j "$JOBS" \
-    --target tracing_test determinism_test pargpu_harness
-ctest --test-dir build-notrace --output-on-failure -j "$JOBS" \
-    -R "tracing_test|determinism_test"
+stage_tsan() {
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARGPU_TSAN=ON \
+        >build-tsan.configure.log 2>&1 \
+        || { cat build-tsan.configure.log >&2; return 1; }
+    cmake --build build-tsan -j "$JOBS"
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+        -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test"
+    # Second pass with tile parallelism forced on: every renderFrame() in
+    # the subset fans its fragment phase out across clusters, so TSAN sees
+    # the per-cluster sharding and the ordered commit pass.
+    PARGPU_TILE_PARALLEL=1 ctest --test-dir build-tsan \
+        --output-on-failure -j "$JOBS" \
+        -R "determinism_test|pipeline_test|integration_test"
+}
 
-stage "6/9 pargpu-lint"
-python3 tools/pargpu_lint.py --root "$ROOT"
+stage_notrace() {
+    cmake -B build-notrace -S . \
+        -DCMAKE_BUILD_TYPE=Release -DPARGPU_TRACING=OFF \
+        >build-notrace.configure.log 2>&1 \
+        || { cat build-notrace.configure.log >&2; return 1; }
+    cmake --build build-notrace -j "$JOBS" \
+        --target tracing_test determinism_test pargpu_harness
+    ctest --test-dir build-notrace --output-on-failure -j "$JOBS" \
+        -R "tracing_test|determinism_test"
+}
 
-stage "7/9 clang-tidy"
-if command -v clang-tidy >/dev/null 2>&1; then
-    cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-        >/dev/null
+stage_lint() {
+    python3 tools/pargpu_lint.py --root "$ROOT"
+}
+
+stage_tidy() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "SKIP: clang-tidy not installed (config committed in .clang-tidy)"
+        return "$SKIP_RC"
+    fi
+    cmake -B build-check -S . >/dev/null
     mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
     clang-tidy -p build-check --quiet "${tidy_sources[@]}"
-else
-    echo "clang-tidy not installed; skipping (config committed in .clang-tidy)"
-fi
+}
 
-stage "8/9 perf gate (texel hot path + tile parallelism vs committed baselines)"
-# Plain Release (contracts off) so wall-clock resembles production; the
-# gates themselves are on the *simulated* metrics, which are
-# deterministic — wall-clock speedups in BENCH_texel.json and
-# BENCH_tile.json are informational (they depend on the core count).
-cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release \
-    >build-perf.configure.log 2>&1 || { cat build-perf.configure.log >&2; exit 1; }
-cmake --build build-perf -j "$JOBS" --target perf_smoke perf_tile
-PERF_METRICS="$ROOT/build-perf/perf-metrics"
-mkdir -p "$PERF_METRICS"
-( cd build-perf && PARGPU_FRAMES=2 PARGPU_METRICS_DIR="$PERF_METRICS" \
-    ./bench/perf_smoke )
-python3 tools/pargpu_report.py \
-    bench/baselines/perf_texel_HL2-640x512_baseline.json \
-    "$PERF_METRICS/perf_texel_HL2-640x512_baseline.json" \
-    --fail-on-regress 0.01
-( cd build-perf && PARGPU_METRICS_DIR="$PERF_METRICS" ./bench/perf_tile )
-python3 tools/pargpu_report.py \
-    bench/baselines/perf_tile_HL2-1280x1024_baseline.json \
-    "$PERF_METRICS/perf_tile_HL2-1280x1024_baseline.json" \
-    --fail-on-regress 0.01
+stage_perf() {
+    # Plain Release (contracts off) so wall-clock resembles production;
+    # the gates themselves are on the *simulated* metrics, which are
+    # deterministic — wall-clock speedups in BENCH_texel.json and
+    # BENCH_tile.json are informational (they depend on the core count).
+    cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release \
+        >build-perf.configure.log 2>&1 \
+        || { cat build-perf.configure.log >&2; return 1; }
+    cmake --build build-perf -j "$JOBS" --target perf_smoke perf_tile
+    local perf_metrics="$ROOT/build-perf/perf-metrics"
+    mkdir -p "$perf_metrics"
+    ( cd build-perf && PARGPU_FRAMES=2 PARGPU_METRICS_DIR="$perf_metrics" \
+        ./bench/perf_smoke )
+    python3 tools/pargpu_report.py \
+        bench/baselines/perf_texel_HL2-640x512_baseline.json \
+        "$perf_metrics/perf_texel_HL2-640x512_baseline.json" \
+        --fail-on-regress 0.01
+    ( cd build-perf && PARGPU_METRICS_DIR="$perf_metrics" ./bench/perf_tile )
+    python3 tools/pargpu_report.py \
+        bench/baselines/perf_tile_HL2-1280x1024_baseline.json \
+        "$perf_metrics/perf_tile_HL2-1280x1024_baseline.json" \
+        --fail-on-regress 0.01
+}
 
-stage "9/9 SIMD bit-identity (-DPARGPU_SIMD=OFF vs ON)"
-# The scalar-only build must render the same frames and register the
-# same metrics as the SIMD build; only the dispatch-reporting fields
-# (run.simd_dispatch, registry simd.dispatch / texunit.simd_width) may
-# differ. build-perf is the ON build (the knob defaults to ON).
-cmake -B build-simd-off -S . -DCMAKE_BUILD_TYPE=Release -DPARGPU_SIMD=OFF \
-    >build-simd-off.configure.log 2>&1 || { cat build-simd-off.configure.log >&2; exit 1; }
-cmake --build build-simd-off -j "$JOBS" \
-    --target determinism_test simd_kernel_test pargpu_harness
-cmake --build build-perf -j "$JOBS" \
-    --target determinism_test simd_kernel_test pargpu_harness
-ctest --test-dir build-simd-off --output-on-failure -j "$JOBS" \
-    -R "determinism_test|simd_kernel_test"
-ctest --test-dir build-perf --output-on-failure -j "$JOBS" \
-    -R "determinism_test|simd_kernel_test"
-SIMD_DIFF="$ROOT/build-simd-off/simd-diff"
-mkdir -p "$SIMD_DIFF"
-for build in build-simd-off build-perf; do
-    "$ROOT/$build/src/harness/pargpu_harness" \
-        --run-game wolf --run-scenario patu \
-        --run-width 160 --run-height 120 --run-frames 2 --quiet \
-        --metrics-json "$SIMD_DIFF/$build.json"
-done
-python3 - "$SIMD_DIFF/build-simd-off.json" "$SIMD_DIFF/build-perf.json" <<'EOF'
+stage_simd_identity() {
+    # The scalar-only build must render the same frames and register the
+    # same metrics as the SIMD build; only the dispatch-reporting fields
+    # (run.simd_dispatch, registry simd.dispatch / texunit.simd_width)
+    # may differ. build-perf is the ON build (the knob defaults to ON).
+    cmake -B build-simd-off -S . -DCMAKE_BUILD_TYPE=Release \
+        -DPARGPU_SIMD=OFF >build-simd-off.configure.log 2>&1 \
+        || { cat build-simd-off.configure.log >&2; return 1; }
+    cmake --build build-simd-off -j "$JOBS" \
+        --target determinism_test simd_kernel_test pargpu_harness
+    cmake --build build-perf -j "$JOBS" \
+        --target determinism_test simd_kernel_test pargpu_harness
+    ctest --test-dir build-simd-off --output-on-failure -j "$JOBS" \
+        -R "determinism_test|simd_kernel_test"
+    ctest --test-dir build-perf --output-on-failure -j "$JOBS" \
+        -R "determinism_test|simd_kernel_test"
+    local simd_diff="$ROOT/build-simd-off/simd-diff"
+    mkdir -p "$simd_diff"
+    local build
+    for build in build-simd-off build-perf; do
+        "$ROOT/$build/src/harness/pargpu_harness" \
+            --run-game wolf --run-scenario patu \
+            --run-width 160 --run-height 120 --run-frames 2 --quiet \
+            --metrics-json "$simd_diff/$build.json"
+    done
+    python3 - "$simd_diff/build-simd-off.json" "$simd_diff/build-perf.json" <<'EOF'
 import json, sys
 
 # The only fields the dispatch tier may change.
@@ -176,5 +237,47 @@ if bad:
 print(f"SIMD OFF/ON exports identical ({len(a)} fields, "
       f"{len(ALLOWED)} dispatch fields excluded)")
 EOF
+}
 
-stage "all stages passed"
+stage_analyze() {
+    # build-check carries compile_commands.json (exported by default);
+    # without the libclang bindings the analyzer notes the fallback and
+    # runs its builtin text front-end, so the gate holds either way.
+    python3 tools/pargpu_analyze.py --root "$ROOT" --build-dir build-check
+    python3 tests/lint_selftest.py --root "$ROOT"
+}
+
+stage_tsa() {
+    local clangxx
+    clangxx="$(command -v clang++ || true)"
+    if [ -z "$clangxx" ]; then
+        echo "SKIP: clang++ not installed (thread-safety analysis needs" \
+             "clang's -Wthread-safety; annotations compile to no-ops here)"
+        return "$SKIP_RC"
+    fi
+    cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_CXX_COMPILER="$clangxx" -DPARGPU_TSA=ON \
+        >build-tsa.configure.log 2>&1 \
+        || { cat build-tsa.configure.log >&2; return 1; }
+    # -Werror=thread-safety: the build itself is the gate; no test run
+    # needed (stage 1 already executes the suite).
+    cmake --build build-tsa -j "$JOBS"
+}
+
+# --- matrix ---------------------------------------------------------------
+
+run_stage "1/11 Release + contracts + -Werror" stage_release
+run_stage "2/11 AddressSanitizer" stage_asan
+run_stage "3/11 UndefinedBehaviorSanitizer" stage_ubsan
+run_stage "4/11 ThreadSanitizer (threading subset)" stage_tsan
+run_stage "5/11 tracing compiled out (-DPARGPU_TRACING=OFF)" stage_notrace
+run_stage "6/11 pargpu-lint" stage_lint
+run_stage "7/11 clang-tidy" stage_tidy
+run_stage "8/11 perf gate (texel + tile vs baselines)" stage_perf
+run_stage "9/11 SIMD bit-identity (-DPARGPU_SIMD=OFF vs ON)" stage_simd_identity
+run_stage "10/11 pargpu-analyze + fixture selftest" stage_analyze
+run_stage "11/11 thread-safety analysis (-DPARGPU_TSA=ON)" stage_tsa
+
+summary
+echo
+echo "==== check.sh: all stages passed ===="

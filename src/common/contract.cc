@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
-#include <mutex>
+
+#include "common/annotations.hh"
 
 namespace pargpu
 {
@@ -21,8 +22,8 @@ namespace
  */
 struct Registry
 {
-    std::mutex mu;
-    std::vector<Site *> sites;
+    Mutex mu;
+    std::vector<Site *> sites PARGPU_GUARDED_BY(mu);
     std::atomic<std::uint64_t> violations{0};
     std::atomic<FailHandler> handler{nullptr};
 };
@@ -77,7 +78,7 @@ Site::Site(Kind kind, const char *file, int line, const char *expr)
     : kind_(kind), file_(file), line_(line), expr_(expr)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    MutexLock lk(r.mu);
     r.sites.push_back(this);
 }
 
@@ -88,7 +89,7 @@ stats()
     ContractStats s;
     std::vector<Site *> sites;
     {
-        std::lock_guard<std::mutex> lk(r.mu);
+        MutexLock lk(r.mu);
         sites = r.sites;
     }
     s.sites = sites.size();
@@ -113,7 +114,7 @@ void
 resetStats()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    MutexLock lk(r.mu);
     for (Site *site : r.sites)
         site->resetCount();
     r.violations.store(0, std::memory_order_relaxed);

@@ -160,7 +160,7 @@ StatSnapshot::fromJson(const Json &j)
 StatSnapshot
 StatRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     StatSnapshot s;
     s.counters = counters_;
     s.scalars = scalars_;

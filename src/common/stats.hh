@@ -13,10 +13,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hh"
 
 namespace pargpu
 {
@@ -107,7 +108,7 @@ class StatRegistry
     void
     inc(const std::string &name, std::uint64_t delta = 1)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         counters_[name] += delta;
     }
 
@@ -123,7 +124,7 @@ class StatRegistry
     std::uint64_t *
     counterCell(const std::string &name)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return &counters_[name];
     }
 
@@ -131,7 +132,7 @@ class StatRegistry
     void
     set(const std::string &name, double value)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         scalars_[name] = value;
     }
 
@@ -139,7 +140,7 @@ class StatRegistry
     void
     observe(const std::string &name, double value)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         histograms_[name].observe(value);
     }
 
@@ -147,7 +148,7 @@ class StatRegistry
     std::uint64_t
     counter(const std::string &name) const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
@@ -156,7 +157,7 @@ class StatRegistry
     double
     scalar(const std::string &name) const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = scalars_.find(name);
         return it == scalars_.end() ? 0.0 : it->second;
     }
@@ -165,7 +166,7 @@ class StatRegistry
     HistogramSummary
     histogram(const std::string &name) const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = histograms_.find(name);
         return it == histograms_.end() ? HistogramSummary{}
                                        : it->second.summary();
@@ -175,7 +176,7 @@ class StatRegistry
     bool
     hasCounter(const std::string &name) const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return counters_.count(name) != 0;
     }
 
@@ -183,7 +184,7 @@ class StatRegistry
     void
     reset()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         counters_.clear();
         scalars_.clear();
         histograms_.clear();
@@ -208,15 +209,15 @@ class StatRegistry
     std::map<std::string, std::uint64_t>
     counters() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return counters_;
     }
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::uint64_t> counters_;
-    std::map<std::string, double> scalars_;
-    std::map<std::string, Histogram> histograms_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::uint64_t> counters_ PARGPU_GUARDED_BY(mutex_);
+    std::map<std::string, double> scalars_ PARGPU_GUARDED_BY(mutex_);
+    std::map<std::string, Histogram> histograms_ PARGPU_GUARDED_BY(mutex_);
 };
 
 } // namespace pargpu

@@ -7,8 +7,9 @@
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "common/annotations.hh"
 
 namespace pargpu
 {
@@ -34,8 +35,8 @@ struct ForJob
     std::atomic<std::size_t> completed{0}; ///< Chunks fully executed.
     std::vector<std::exception_ptr> errors;
 
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    std::condition_variable_any done_cv; ///< Waits on the annotated Mutex.
 
     /**
      * Claim and run chunks until the counter is exhausted. Safe to call
@@ -58,7 +59,7 @@ struct ForJob
                 errors[c] = std::current_exception();
             }
             if (completed.fetch_add(1) + 1 == n_chunks) {
-                std::lock_guard<std::mutex> lk(done_mu);
+                MutexLock lk(done_mu);
                 done_cv.notify_all();
             }
         }
@@ -67,11 +68,11 @@ struct ForJob
 
 struct ThreadPool::Impl
 {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::shared_ptr<ForJob>> queue;
-    std::vector<std::thread> workers;
-    bool stop = false;
+    mutable Mutex mu;
+    std::condition_variable_any cv; ///< Waits on the annotated Mutex.
+    std::deque<std::shared_ptr<ForJob>> queue PARGPU_GUARDED_BY(mu);
+    std::vector<std::thread> workers PARGPU_GUARDED_BY(mu);
+    bool stop PARGPU_GUARDED_BY(mu) = false;
 
     void
     workerLoop()
@@ -80,8 +81,11 @@ struct ThreadPool::Impl
         for (;;) {
             std::shared_ptr<ForJob> job;
             {
-                std::unique_lock<std::mutex> lk(mu);
-                cv.wait(lk, [&] { return stop || !queue.empty(); });
+                UniqueLock lk(mu);
+                // Explicit wait loop (not the predicate overload) so the
+                // guarded reads of stop/queue sit visibly under the lock.
+                while (!stop && queue.empty())
+                    cv.wait(lk);
                 if (stop && queue.empty())
                     return;
                 job = std::move(queue.front());
@@ -92,7 +96,7 @@ struct ThreadPool::Impl
     }
 
     void
-    spawn(unsigned count)
+    spawn(unsigned count) PARGPU_REQUIRES(mu)
     {
         for (unsigned i = 0; i < count; ++i)
             workers.emplace_back([this] { workerLoop(); });
@@ -102,31 +106,37 @@ struct ThreadPool::Impl
 ThreadPool::ThreadPool(unsigned workers)
     : impl_(std::make_unique<Impl>())
 {
+    MutexLock lk(impl_->mu);
     impl_->spawn(workers);
 }
 
 ThreadPool::~ThreadPool()
 {
+    // Swap the worker list out under the lock, then join without it: a
+    // worker draining the queue needs the mutex to observe stop, so
+    // joining while holding it would deadlock.
+    std::vector<std::thread> workers;
     {
-        std::lock_guard<std::mutex> lk(impl_->mu);
+        MutexLock lk(impl_->mu);
         impl_->stop = true;
+        workers.swap(impl_->workers);
     }
     impl_->cv.notify_all();
-    for (std::thread &t : impl_->workers)
+    for (std::thread &t : workers)
         t.join();
 }
 
 unsigned
 ThreadPool::workerCount() const
 {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     return static_cast<unsigned>(impl_->workers.size());
 }
 
 void
 ThreadPool::ensureWorkers(unsigned workers)
 {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    MutexLock lk(impl_->mu);
     if (impl_->workers.size() < workers)
         impl_->spawn(workers - static_cast<unsigned>(impl_->workers.size()));
 }
@@ -166,7 +176,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
     helpers = std::min<std::size_t>(helpers, n_chunks - 1);
 
     {
-        std::lock_guard<std::mutex> lk(impl_->mu);
+        MutexLock lk(impl_->mu);
         for (unsigned i = 0; i < helpers; ++i)
             impl_->queue.push_back(job);
     }
@@ -178,10 +188,9 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
     job->drain(); // Caller participates.
 
     {
-        std::unique_lock<std::mutex> lk(job->done_mu);
-        job->done_cv.wait(lk, [&] {
-            return job->completed.load() >= job->n_chunks;
-        });
+        UniqueLock lk(job->done_mu);
+        while (job->completed.load() < job->n_chunks)
+            job->done_cv.wait(lk);
     }
 
     for (std::exception_ptr &e : job->errors)

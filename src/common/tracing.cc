@@ -4,10 +4,10 @@
 #include <chrono>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/json.hh"
 
 namespace pargpu::trace
@@ -21,14 +21,18 @@ namespace
 /** Collector state shared by every recording thread. */
 struct Collector
 {
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
-    std::map<std::thread::id, std::uint32_t> tids;
+    Mutex mutex;
+    std::vector<TraceEvent> events PARGPU_GUARDED_BY(mutex);
+    std::map<std::thread::id, std::uint32_t> tids PARGPU_GUARDED_BY(mutex);
+    // Written only by enable() (which holds the mutex) and read without
+    // it by nowUs() on the recording fast path; recording while enable()
+    // is concurrently resetting the epoch is a caller error, so the
+    // unguarded read is accepted by design rather than annotated.
     std::chrono::steady_clock::time_point epoch =
         std::chrono::steady_clock::now();
 
     std::uint32_t
-    tidLocked()
+    tidLocked() PARGPU_REQUIRES(mutex)
     {
         auto id = std::this_thread::get_id();
         auto it = tids.find(id);
@@ -53,7 +57,7 @@ void
 Tracing::enable()
 {
     Collector &c = collector();
-    std::lock_guard<std::mutex> lock(c.mutex);
+    MutexLock lock(c.mutex);
     c.events.clear();
     c.tids.clear();
     c.epoch = std::chrono::steady_clock::now();
@@ -70,7 +74,7 @@ void
 Tracing::clear()
 {
     Collector &c = collector();
-    std::lock_guard<std::mutex> lock(c.mutex);
+    MutexLock lock(c.mutex);
     c.events.clear();
     c.tids.clear();
 }
@@ -79,7 +83,7 @@ std::size_t
 Tracing::eventCount()
 {
     Collector &c = collector();
-    std::lock_guard<std::mutex> lock(c.mutex);
+    MutexLock lock(c.mutex);
     return c.events.size();
 }
 
@@ -111,7 +115,7 @@ Tracing::recordComplete(const char *cat, const char *name, double ts_us,
         e.arg_name = arg_name;
         e.arg_value = arg_value;
     }
-    std::lock_guard<std::mutex> lock(c.mutex);
+    MutexLock lock(c.mutex);
     e.tid = c.tidLocked();
     c.events.push_back(std::move(e));
 }
@@ -130,7 +134,7 @@ Tracing::recordCounter(const char *cat, const char *name, double value)
     e.has_arg = true;
     e.arg_name = "value";
     e.arg_value = value;
-    std::lock_guard<std::mutex> lock(c.mutex);
+    MutexLock lock(c.mutex);
     e.tid = c.tidLocked();
     c.events.push_back(std::move(e));
 }
@@ -146,7 +150,7 @@ Tracing::recordInstant(const char *cat, const char *name)
     e.cat = cat;
     e.ph = 'i';
     e.ts_us = nowUs();
-    std::lock_guard<std::mutex> lock(c.mutex);
+    MutexLock lock(c.mutex);
     e.tid = c.tidLocked();
     c.events.push_back(std::move(e));
 }
@@ -157,7 +161,7 @@ Tracing::writeJson(std::ostream &os)
     Collector &c = collector();
     std::vector<TraceEvent> events;
     {
-        std::lock_guard<std::mutex> lock(c.mutex);
+        MutexLock lock(c.mutex);
         events = c.events;
     }
     std::stable_sort(events.begin(), events.end(),

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -63,6 +64,19 @@ class MemorySystem
     explicit MemorySystem(const MemSysConfig &config);
 
     /**
+     * The serial-memory-phase capability (zero runtime cost; see
+     * common/annotations.hh). Shared LLC/DRAM state may only move while
+     * exactly one thread runs — serial rendering, the geometry phase, or
+     * pass B of tile-parallel execution. Every mutating entry point
+     * requires this capability; ClusterMemFront::stageLines (pass A, on
+     * worker threads) excludes it. GpuSimulator::renderFrame scopes a
+     * PhaseGuard around each serial region, so under clang TSA
+     * (-DPARGPU_TSA=ON) a future code path that touches shared memory
+     * state from inside the parallel pass fails to compile.
+     */
+    PhaseCapability serial_phase;
+
+    /**
      * Timed read of the line containing @p addr.
      *
      * @param cluster  Requesting shader cluster (selects the texture L1).
@@ -71,7 +85,8 @@ class MemorySystem
      * @param cls      Traffic class for accounting.
      * @return Cycle at which the data is available.
      */
-    Cycle read(unsigned cluster, Addr addr, Cycle now, TrafficClass cls);
+    Cycle read(unsigned cluster, Addr addr, Cycle now, TrafficClass cls)
+        PARGPU_REQUIRES(serial_phase);
 
     /**
      * Timed batched read of pre-deduplicated line addresses, all issued
@@ -85,10 +100,12 @@ class MemorySystem
      *         empty).
      */
     Cycle readLines(unsigned cluster, std::span<const Addr> lines,
-                    Cycle now, TrafficClass cls);
+                    Cycle now, TrafficClass cls)
+        PARGPU_REQUIRES(serial_phase);
 
     /** Bandwidth-only write (framebuffer flush, etc.). */
-    void write(Addr addr, Bytes bytes, Cycle now, TrafficClass cls);
+    void write(Addr addr, Bytes bytes, Cycle now, TrafficClass cls)
+        PARGPU_REQUIRES(serial_phase);
 
     /**
      * Tile-parallel commit pass: replay the L1-miss lines one deferred
@@ -105,10 +122,11 @@ class MemorySystem
      * quad's full line list at @p now.
      */
     Cycle commitBatch(unsigned cluster, std::span<const Addr> miss_lines,
-                      Cycle now, bool any_line, TrafficClass cls);
+                      Cycle now, bool any_line, TrafficClass cls)
+        PARGPU_REQUIRES(serial_phase);
 
     /** Reset caches, DRAM state and traffic tallies for a fresh run. */
-    void reset();
+    void reset() PARGPU_REQUIRES(serial_phase);
 
     /** DRAM bytes moved (read + write) for @p cls. */
     Bytes trafficBytes(TrafficClass cls) const;
@@ -166,7 +184,8 @@ class ClusterMemFront
      * quad (updating the L1 exactly as a timed read would) and log the
      * misses for the later commit pass.
      */
-    Batch stageLines(std::span<const Addr> lines);
+    Batch stageLines(std::span<const Addr> lines)
+        PARGPU_EXCLUDES(mem_->serial_phase);
 
     /** Miss log indexed by the Batch ranges stageLines() returned. */
     const std::vector<Addr> &missLines() const { return miss_lines_; }

@@ -115,7 +115,10 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         fatal("renderFrame: viewport must be positive");
 
     PARGPU_TRACE_SCOPE("sim", "frame");
-    mem_->reset();
+    {
+        PhaseGuard serial(mem_->serial_phase);
+        mem_->reset();
+    }
     for (auto &tu : tus_)
         tu->resetStats();
 
@@ -231,6 +234,9 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
 
         {
         PARGPU_TRACE_SCOPE("sim", "geometry");
+        // The geometry engine is the only agent in the memory system
+        // during this block (fragment work has not started).
+        PhaseGuard serial(mem_->serial_phase);
 
         // --- Vertex processing ------------------------------------------
         // Fetch vertex data (geometry traffic) and charge shader time.
@@ -309,6 +315,8 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         // --- Fragment phase ----------------------------------------------
         PARGPU_TRACE_SCOPE("sim", "fragment");
         if (!tile_par) {
+        // Serial rendering: one thread owns the whole hierarchy.
+        PhaseGuard serial(mem_->serial_phase);
         for (int ty = 0; ty < tiles_y; ++ty) {
             for (int tx = 0; tx < tiles_x; ++tx) {
                 const std::size_t t =
@@ -343,6 +351,13 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
 
                     rasterizeTriangle(st, wx0, wy0, wx1, wy1,
                         [&](const QuadFragment &quad) {
+                            // Runs inline under the serial PhaseGuard
+                            // above; restate that for the analysis,
+                            // which checks lambda bodies as separate
+                            // functions and cannot alias tu's private
+                            // memory-system pointer with mem_.
+                            mem_->serial_phase.assertHeld();
+                            tu.assertSerialPhase();
                             // Early depth test per covered pixel.
                             QuadFragment q = quad;
                             unsigned surv = depthTestQuad(
@@ -484,6 +499,9 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             // path would have used — which makes every cache, DRAM and
             // timing counter bit-identical.
             PARGPU_TRACE_SCOPE("sim", "commit");
+            // Workers have joined (ThreadPool::run is a barrier); this
+            // thread is again the only agent in the memory system.
+            PhaseGuard serial(mem_->serial_phase);
             std::vector<std::size_t> cursor(config_.clusters, 0);
             for (std::size_t t = 0; t < n_tiles; ++t) {
                 if (bin_count[t] == 0)

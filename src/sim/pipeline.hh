@@ -132,9 +132,17 @@ class GpuSimulator
   public:
     explicit GpuSimulator(const GpuConfig &config);
 
-    /** Render @p scene from @p camera into a width x height frame. */
+    /**
+     * Render @p scene from @p camera into a width x height frame.
+     *
+     * Acquires the memory system's serial-phase capability internally
+     * (per phase), so the caller must not already hold it — e.g. a
+     * FilterPolicy callback running inside a frame must never re-enter
+     * the simulator.
+     */
     FrameOutput renderFrame(const Scene &scene, const Camera &camera,
-                            int width, int height);
+                            int width, int height)
+        PARGPU_EXCLUDES(mem_->serial_phase);
 
     const GpuConfig &config() const { return config_; }
     const MemorySystem &mem() const { return *mem_; }

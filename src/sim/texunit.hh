@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/arena.hh"
 #include "common/types.hh"
 #include "core/patu.hh"
@@ -111,7 +112,8 @@ class TextureUnit
      */
     QuadFilterResult processQuad(const QuadFragment &quad,
                                  const TextureMap &tex, FilterMode mode,
-                                 Cycle now);
+                                 Cycle now)
+        PARGPU_REQUIRES(mem_->serial_phase);
 
     /**
      * Tile-parallel variant of processQuad(): identical filtering math
@@ -124,7 +126,20 @@ class TextureUnit
     DeferredQuadResult processQuadDeferred(const QuadFragment &quad,
                                            const TextureMap &tex,
                                            FilterMode mode,
-                                           ClusterMemFront &front);
+                                           ClusterMemFront &front)
+        PARGPU_EXCLUDES(mem_->serial_phase);
+
+    /**
+     * Declare (to the thread-safety analysis only; zero runtime cost)
+     * that this unit's memory system is in its serial phase. Callers
+     * that hold the phase through their own MemorySystem reference use
+     * this to restate the fact in terms of the unit's private pointer —
+     * the analysis cannot alias the two expressions on its own.
+     */
+    void
+    assertSerialPhase() const PARGPU_ASSERT_CAPABILITY(mem_->serial_phase)
+    {
+    }
 
     /** Commit-pass completion of a deferred quad's stall accounting. */
     void

@@ -39,6 +39,8 @@ validateTier(SimdTier t)
     return t;
 }
 
+// Set once from the environment before main() and read-only after;
+// deterministic per run by construction. pargpu-analyze: allow(global-state)
 SimdTier g_tier = [] {
     const char *v = std::getenv("PARGPU_SIMD");
     if (v == nullptr || v[0] == '\0')

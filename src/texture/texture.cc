@@ -13,6 +13,8 @@ namespace pargpu
 namespace
 {
 
+// Set once from the environment before main() and read-only after;
+// deterministic per run by construction. pargpu-analyze: allow(global-state)
 TexelStorage g_default_storage = [] {
     const char *v = std::getenv("PARGPU_TEXEL_STORAGE");
     if (v != nullptr && std::strcmp(v, "linear") == 0)

@@ -1,0 +1,15 @@
+// Fixture: pointer value used as data (rule: addr-hash).
+#include <cstdint>
+
+namespace pargpu
+{
+
+struct Texture;
+
+std::uint64_t
+textureKey(const Texture *tex)
+{
+    return reinterpret_cast<std::uintptr_t>(tex) >> 4;
+}
+
+} // namespace pargpu

@@ -1,0 +1,27 @@
+// Fixture: cluster-private unit shared across workers (rule:
+// cluster-escape). One cluster's TextureUnit is captured by reference
+// into every ThreadPool task instead of each worker looking up its own
+// shard by cluster index.
+#include <cstddef>
+#include <vector>
+
+namespace pargpu
+{
+
+class TextureUnit;
+struct ThreadPool
+{
+    static void run(std::size_t n, std::size_t chunk, void (*fn)(void *));
+};
+
+void
+filterAllTiles(std::vector<TextureUnit *> &tus)
+{
+    TextureUnit &tu = *tus[0];
+    ThreadPool::run(4, 1, [&tu](std::size_t c) {
+        (void)c;
+        (void)tu;
+    });
+}
+
+} // namespace pargpu

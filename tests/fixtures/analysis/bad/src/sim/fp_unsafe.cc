@@ -1,0 +1,13 @@
+// Fixture: contracted FP math outside src/simd/ (rule: fp-unsafe).
+#include <cmath>
+
+namespace pargpu
+{
+
+float
+blendWeight(float a, float b, float c)
+{
+    return std::fma(a, b, c);
+}
+
+} // namespace pargpu

@@ -1,0 +1,20 @@
+// Fixture: mutable namespace-scope state (rule: global-state).
+#include <cstdint>
+
+namespace pargpu
+{
+
+namespace
+{
+
+std::uint64_t g_frames_rendered = 0;
+
+} // namespace
+
+void
+noteFrame()
+{
+    ++g_frames_rendered;
+}
+
+} // namespace pargpu

@@ -1,0 +1,14 @@
+// Fixture: hardware entropy source (rule: random-device).
+#include <random>
+
+namespace pargpu
+{
+
+unsigned
+jitterSeed()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace pargpu

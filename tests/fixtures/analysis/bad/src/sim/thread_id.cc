@@ -1,0 +1,16 @@
+// Fixture: thread identity as a value (rule: thread-id).
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace pargpu
+{
+
+std::size_t
+workerSlot(std::size_t slots)
+{
+    auto id = std::this_thread::get_id();
+    return std::hash<decltype(id)>{}(id) % slots;
+}
+
+} // namespace pargpu

@@ -1,0 +1,19 @@
+// Fixture: iterating an unordered container (rule: unordered-iter).
+#include <cstdint>
+#include <unordered_map>
+
+namespace pargpu
+{
+
+std::uint64_t
+sumTileCycles()
+{
+    std::unordered_map<int, std::uint64_t> cycles_by_tile;
+    cycles_by_tile[3] = 7;
+    std::uint64_t total = 0;
+    for (const auto &kv : cycles_by_tile)
+        total += kv.second;
+    return total;
+}
+
+} // namespace pargpu

@@ -1,0 +1,15 @@
+// Fixture: host clock read in simulation code (rule: wall-clock).
+#include <chrono>
+#include <cstdint>
+
+namespace pargpu
+{
+
+std::uint64_t
+frameStartNanos()
+{
+    auto t = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+} // namespace pargpu

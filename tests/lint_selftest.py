@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Selftest for the project's static-analysis tooling.
+
+Proves tools/pargpu_analyze.py by construction against the fixtures in
+tests/fixtures/analysis/:
+
+  1. over fixtures/analysis/bad/ every rule fires exactly once, on its
+     own fixture file, and no rule over- or cross-fires;
+  2. over fixtures/analysis/clean/ the analyzer is silent;
+  3. over fixtures/analysis/suppressed/ an inline
+     "pargpu-analyze: allow(...)" grant silences a real violation;
+  4. a stale file-level allowlist entry is fatal — for the analyzer and
+     for tools/pargpu_lint.py alike (the anti-rot contract).
+
+Run as a CTest (target lint_selftest) and by scripts/check.sh:
+
+    python3 tests/lint_selftest.py --root <repo-root>
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# Rule -> the fixture file (under bad/src/sim/) that must trigger it.
+EXPECTED = {
+    "unordered-iter": "unordered_iter.cc",
+    "wall-clock": "wall_clock.cc",
+    "random-device": "random_device.cc",
+    "thread-id": "thread_id.cc",
+    "addr-hash": "addr_hash.cc",
+    "fp-unsafe": "fp_unsafe.cc",
+    "global-state": "global_state.cc",
+    "cluster-escape": "cluster_escape.cc",
+}
+
+RE_FINDING = re.compile(r"^(\S+?):(\d+): \[([a-z-]+)\]")
+
+failures = []
+
+
+def check(cond, what):
+    status = "ok" if cond else "FAIL"
+    print(f"selftest: {status}: {what}")
+    if not cond:
+        failures.append(what)
+
+
+def run_analyze(root, fixture_root, extra=()):
+    cmd = [sys.executable, os.path.join(root, "tools", "pargpu_analyze.py"),
+           "--root", fixture_root, "--frontend", "text", *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = RE_FINDING.match(line)
+        if m:
+            findings.append((m.group(1).replace(os.sep, "/"), m.group(3)))
+    return proc, findings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tests/)")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+    fixtures = os.path.join(root, "tests", "fixtures", "analysis")
+
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "pargpu_analyze", os.path.join(root, "tools", "pargpu_analyze.py"))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    check(set(EXPECTED) == set(mod.RULES),
+          "fixture table covers exactly the analyzer's RULES")
+
+    # 1. Every rule fires exactly once, on its own file, nothing else.
+    proc, findings = run_analyze(root, os.path.join(fixtures, "bad"))
+    check(proc.returncode == 1, "bad fixtures: exit status 1")
+    want = {(f"src/sim/{fname}", rule) for rule, fname in EXPECTED.items()}
+    got = set(findings)
+    for miss in sorted(want - got):
+        print(f"selftest:   missing: {miss}")
+    for extra in sorted(got - want):
+        print(f"selftest:   unexpected: {extra}")
+    check(got == want and len(findings) == len(want),
+          "bad fixtures: each rule fires exactly once on its own file")
+
+    # 2. Silence on clean code.
+    proc, findings = run_analyze(root, os.path.join(fixtures, "clean"))
+    check(proc.returncode == 0 and not findings,
+          "clean fixtures: analyzer is silent")
+
+    # 3. Inline suppression is honored.
+    proc, findings = run_analyze(root, os.path.join(fixtures, "suppressed"))
+    check(proc.returncode == 0 and not findings,
+          "suppressed fixture: inline allow() silences the finding")
+
+    # 4a. A stale analyzer allowlist entry is fatal.
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write("wall-clock src/sim/clean.cc\n")
+        stale = f.name
+    try:
+        proc, _ = run_analyze(root, os.path.join(fixtures, "clean"),
+                              extra=("--allowlist", stale))
+        check(proc.returncode == 1 and
+              "unused allowlist entry" in proc.stdout,
+              "analyzer: stale allowlist entry is fatal")
+    finally:
+        os.unlink(stale)
+
+    # 4b. Same contract in pargpu_lint.py, against the real tree (the
+    # rand rule is enforced everywhere, so this entry cannot be in use).
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write("rand src/sim/pipeline.cc\n")
+        stale = f.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, os.path.join(root, "tools", "pargpu_lint.py"),
+             "--root", root, "--allowlist", stale, "--no-spot-builds"],
+            capture_output=True, text=True)
+        check(proc.returncode == 1 and
+              "unused allowlist entry" in proc.stdout,
+              "lint: stale allowlist entry is fatal")
+    finally:
+        os.unlink(stale)
+
+    if failures:
+        print(f"selftest: {len(failures)} check(s) failed")
+        return 1
+    print("selftest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

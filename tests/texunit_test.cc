@@ -64,6 +64,7 @@ TEST(TexUnitTest, IsotropicQuadFiltersOneSamplePerPixel)
 {
     Fixture f(DesignScenario::Baseline);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     QuadFilterResult r = tu.processQuad(quadWithAniso(1, 1), f.tex,
                                         FilterMode::Anisotropic, 0);
     EXPECT_EQ(tu.stats().pixels, 4u);
@@ -76,6 +77,7 @@ TEST(TexUnitTest, BaselineFiltersAllAnisoSamples)
 {
     Fixture f(DesignScenario::Baseline);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     tu.processQuad(quadWithAniso(8, 1), f.tex, FilterMode::Anisotropic,
                    0);
     // N = 8: 8 samples per pixel, 4 pixels.
@@ -88,6 +90,7 @@ TEST(TexUnitTest, NoAfAlwaysSingleSample)
 {
     Fixture f(DesignScenario::NoAF);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     tu.processQuad(quadWithAniso(8, 1), f.tex, FilterMode::Anisotropic,
                    0);
     EXPECT_EQ(tu.stats().trilinear_samples, 4u);
@@ -98,6 +101,7 @@ TEST(TexUnitTest, PatuStage1ApproximatesSmallN)
 {
     Fixture f(DesignScenario::Patu, 0.4f);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     tu.processQuad(quadWithAniso(2, 1), f.tex, FilterMode::Anisotropic,
                    0);
     EXPECT_EQ(tu.stats().approx_stage1, 4u);
@@ -108,11 +112,13 @@ TEST(TexUnitTest, PatuReducesWorkVsBaseline)
 {
     Fixture fb(DesignScenario::Baseline);
     TextureUnit base_tu(fb.config, 0, fb.mem);
+    base_tu.assertSerialPhase(); // Single-threaded test driver.
     base_tu.processQuad(quadWithAniso(12, 1), fb.tex,
                         FilterMode::Anisotropic, 0);
 
     Fixture fp(DesignScenario::Patu, 0.4f);
     TextureUnit patu_tu(fp.config, 0, fp.mem);
+    patu_tu.assertSerialPhase(); // Single-threaded test driver.
     patu_tu.processQuad(quadWithAniso(12, 1), fp.tex,
                         FilterMode::Anisotropic, 0);
 
@@ -124,6 +130,7 @@ TEST(TexUnitTest, TrilinearModeIgnoresPatu)
 {
     Fixture f(DesignScenario::Patu, 0.4f);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     tu.processQuad(quadWithAniso(8, 1), f.tex, FilterMode::Trilinear, 0);
     EXPECT_EQ(tu.stats().trilinear_samples, 4u);
     EXPECT_EQ(tu.stats().af_candidate_pixels, 0u);
@@ -133,6 +140,7 @@ TEST(TexUnitTest, PartialCoverageProcessesOnlyCoveredPixels)
 {
     Fixture f(DesignScenario::Baseline);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     QuadFragment q = quadWithAniso(1, 1);
     q.coverage = 0x5; // Pixels 0 and 2.
     tu.processQuad(q, f.tex, FilterMode::Anisotropic, 0);
@@ -143,6 +151,7 @@ TEST(TexUnitTest, ColorsMatchStandaloneSamplerForBaseline)
 {
     Fixture f(DesignScenario::Baseline);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     QuadFragment q = quadWithAniso(4, 1);
     QuadFilterResult r = tu.processQuad(q, f.tex,
                                         FilterMode::Anisotropic, 0);
@@ -158,6 +167,7 @@ TEST(TexUnitTest, ApproximatedColorIsTrilinearAtChosenLod)
 {
     Fixture f(DesignScenario::Patu, 0.4f);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     QuadFragment q = quadWithAniso(2, 1); // Stage-1 approximation.
     QuadFilterResult r = tu.processQuad(q, f.tex,
                                         FilterMode::Anisotropic, 0);
@@ -173,6 +183,7 @@ TEST(TexUnitTest, StatsResetClearsCounters)
 {
     Fixture f(DesignScenario::Baseline);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     tu.processQuad(quadWithAniso(4, 1), f.tex, FilterMode::Anisotropic,
                    0);
     EXPECT_GT(tu.stats().pixels, 0u);
@@ -186,6 +197,7 @@ TEST(TexUnitTest, MemoryTrafficFlowsThroughTextureClass)
 {
     Fixture f(DesignScenario::Baseline);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     tu.processQuad(quadWithAniso(8, 1), f.tex, FilterMode::Anisotropic,
                    0);
     EXPECT_GT(f.mem.trafficBytes(TrafficClass::Texture), 0u);
@@ -201,6 +213,7 @@ TEST(TexUnitTest, DivergenceCountedWhenPixelsDisagree)
     // the no-divergence case is not counted.
     Fixture f(DesignScenario::Patu, 0.4f);
     TextureUnit tu(f.config, 0, f.mem);
+    tu.assertSerialPhase(); // Single-threaded test driver.
     tu.processQuad(quadWithAniso(8, 1), f.tex, FilterMode::Anisotropic,
                    0);
     EXPECT_EQ(tu.stats().divergent_quads, 0u);

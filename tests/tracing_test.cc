@@ -146,8 +146,9 @@ TEST(TracingTest, JsonIsStructurallyAChromeTrace)
             ASSERT_TRUE(e["args"].isObject());
             EXPECT_TRUE(e["args"]["value"].isNumber());
         }
-        if (ph == "i")
+        if (ph == "i") {
             EXPECT_EQ(e["s"].str(), "t");
+        }
         if (e["cat"].str() == "sim" && e["name"].str() == "frame")
             saw_frame_span = true;
         if (e["cat"].str() == "mem" && e["name"].str() == "dram.bytes")

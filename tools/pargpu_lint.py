@@ -39,6 +39,11 @@ Suppressions:
   - file-level: an entry "<rule> <repo-relative-path>" in the allowlist
     file (tools/lint_allowlist.txt), '#' comments allowed
 
+An allowlist entry that no longer suppresses anything is itself an
+error, so the list cannot rot (entries must be pruned when the code
+they excused is fixed). header-self entries are exempt from the
+unused check under --no-spot-builds, where their rule never runs.
+
 Exit status is non-zero when any violation remains, so the CTest entry
 and scripts/check.sh can gate on it.
 """
@@ -157,7 +162,7 @@ def inline_allows(raw_line):
     return {r.strip() for r in m.group(1).split(",")}
 
 
-def check_file(root, rel, allow, violations, metrics_doc):
+def check_file(root, rel, violations, metrics_doc):
     path = os.path.join(root, rel)
     with open(path, encoding="utf-8") as f:
         raw_text = f.read()
@@ -166,7 +171,7 @@ def check_file(root, rel, allow, violations, metrics_doc):
 
     in_harness = rel.replace(os.sep, "/").startswith("src/harness/")
 
-    if rel.endswith((".hh", ".h")) and ("file-doc", rel) not in allow:
+    if rel.endswith((".hh", ".h")):
         head = "\n".join(raw_lines[:20])
         if "@file" not in head and not inline_allows(head):
             violations.append(
@@ -199,7 +204,7 @@ def check_file(root, rel, allow, violations, metrics_doc):
         prev = raw_lines[lineno - 2] if lineno >= 2 else ""
         allowed_here = inline_allows(raw) | inline_allows(prev)
         for rule, regex, use_raw, msg in line_rules:
-            if (rule, rel) in allow or rule in allowed_here:
+            if rule in allowed_here:
                 continue
             m = regex.search(raw if use_raw else code)
             if not m:
@@ -214,8 +219,7 @@ def check_file(root, rel, allow, violations, metrics_doc):
         # docs/METRICS.md. The literal may sit on the call line or, for
         # wrapped calls, on the following line. A leading '.' marks a name
         # relative to a runtime prefix (prefix + ".llc.hits").
-        if ("metrics-doc", rel) not in allow and \
-                "metrics-doc" not in allowed_here and \
+        if "metrics-doc" not in allowed_here and \
                 RE_STAT_CALL.search(code):
             search = raw
             if not RE_STAT_NAME.search(raw) and lineno < len(raw_lines):
@@ -234,7 +238,7 @@ def check_file(root, rel, allow, violations, metrics_doc):
                          "docs/METRICS.md"))
 
 
-def check_internal_include(root, rel, allow, violations):
+def check_internal_include(root, rel, violations):
     """examples/ and bench/ build against the facade only: every quoted
     include must be a "pargpu/..." header (or bench's own bench_util.hh);
     system headers use angle brackets and pass freely."""
@@ -244,13 +248,11 @@ def check_internal_include(root, rel, allow, violations):
     for lineno, raw in enumerate(raw_lines, start=1):
         prev = raw_lines[lineno - 2] if lineno >= 2 else ""
         allowed_here = inline_allows(raw) | inline_allows(prev)
-        if ("intrinsics", rel) not in allow and \
-                "intrinsics" not in allowed_here and RE_INTRIN.search(raw):
+        if "intrinsics" not in allowed_here and RE_INTRIN.search(raw):
             violations.append(
                 (rel, lineno, "intrinsics",
                  "x86 intrinsic outside src/simd/; use the kernel layer"))
-        if ("internal-include", rel) in allow or \
-                "internal-include" in allowed_here:
+        if "internal-include" in allowed_here:
             continue
         m = RE_QUOTED_INCLUDE.search(raw)
         if not m:
@@ -266,9 +268,7 @@ def check_internal_include(root, rel, allow, violations):
              '("pargpu/...") instead'))
 
 
-def check_header_selfcontained(root, rel, compiler, std, allow, violations):
-    if ("header-self", rel) in allow:
-        return
+def check_header_selfcontained(root, rel, compiler, std, violations):
     include_as = rel.replace(os.sep, "/")
     include_as = include_as.removeprefix("src/").removeprefix("include/")
     snippet = f'#include "{include_as}"\n'
@@ -328,21 +328,40 @@ def main():
 
     violations = []
     for rel in sources:
-        check_file(root, rel, allow, violations, metrics_doc)
+        check_file(root, rel, violations, metrics_doc)
     for rel in consumers:
-        check_internal_include(root, rel, allow, violations)
+        check_internal_include(root, rel, violations)
 
     if not args.no_spot_builds:
         headers = [s for s in sources if s.endswith((".hh", ".h"))]
         for rel in headers:
             check_header_selfcontained(root, rel, args.compiler, args.std,
-                                       allow, violations)
+                                       violations)
 
+    # File-level allowlist: filter after the fact so entries that no
+    # longer suppress anything are detectable (and fatal) instead of
+    # silently rotting in the list.
+    used = set()
+    kept = []
     for rel, lineno, rule, msg in violations:
+        if (rule, rel) in allow:
+            used.add((rule, rel))
+        else:
+            kept.append((rel, lineno, rule, msg))
+    unused = allow - used
+    if args.no_spot_builds:
+        # header-self never ran, so its entries cannot prove themselves.
+        unused = {e for e in unused if e[0] != "header-self"}
+
+    for rel, lineno, rule, msg in kept:
         print(f"{rel}:{lineno}: [{rule}] {msg}")
+    for rule, rel in sorted(unused):
+        print(f"lint: unused allowlist entry: {rule} {rel} "
+              "(rule no longer fires; prune it)")
     checked = len(sources) + len(consumers)
-    if violations:
-        print(f"lint: {len(violations)} violation(s) in {checked} files")
+    if kept or unused:
+        print(f"lint: {len(kept)} violation(s), {len(unused)} stale "
+              f"allowlist entr(ies) in {checked} files")
         return 1
     print(f"lint: OK ({checked} files clean)")
     return 0
