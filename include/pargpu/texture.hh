@@ -4,13 +4,15 @@
  *
  * Re-exports TextureMap (simulated TexelLayout + host TexelStorage),
  * mip-pyramid construction, BC1 compression, the procedural texture
- * generators, and TextureSampler with its trilinear/anisotropic filters.
+ * generators, TextureSampler with its trilinear/anisotropic filters, and
+ * the FilterPolicy family (docs/FILTERING.md).
  */
 
 #ifndef PARGPU_TEXTURE_HH
 #define PARGPU_TEXTURE_HH
 
 #include "texture/compress.hh"
+#include "texture/filter_policy.hh"
 #include "texture/mipmap.hh"
 #include "texture/procedural.hh"
 #include "texture/sampler.hh"

@@ -24,6 +24,11 @@
 #   11. Clang Thread Safety Analysis build (-DPARGPU_TSA=ON with
 #       -Werror=thread-safety; skipped with a note when clang++ is not
 #       installed)
+#   12. filter-policy matrix: the determinism subset re-run under every
+#       registered FilterPolicy (PARGPU_FILTER_POLICY), then the harness
+#       metrics exports diffed across policies — selecting a policy may
+#       change values but never the exported key set (only the
+#       policy-reporting fields may differ; docs/FILTERING.md)
 #
 # Each stage is timed; a PASS/SKIP/FAIL summary table is printed at the
 # end (or at the first failure). Skipped stages announce themselves
@@ -264,19 +269,92 @@ stage_tsa() {
     cmake --build build-tsa -j "$JOBS"
 }
 
+stage_policy_matrix() {
+    # build-check (stage 1) carries the binaries; run the determinism
+    # subset under each registered policy, then prove the metrics schema
+    # does not depend on the policy: exports across policies must agree
+    # on the key set, with only the policy-reporting fields differing in
+    # value.
+    cmake --build build-check -j "$JOBS" \
+        --target determinism_test filter_policy_test pargpu_harness
+    local pdir="$ROOT/build-check/policy-matrix"
+    mkdir -p "$pdir"
+    local policy
+    for policy in patu stf_uniform stf_blue stf_weighted \
+                  filter_after_shading; do
+        echo "--- policy: $policy ---"
+        PARGPU_FILTER_POLICY="$policy" ctest --test-dir build-check \
+            --output-on-failure -j "$JOBS" \
+            -R "determinism_test|filter_policy_test"
+        "$ROOT/build-check/src/harness/pargpu_harness" \
+            --run-game nfs --run-scenario patu \
+            --run-filter-policy "$policy" \
+            --run-width 160 --run-height 120 --run-frames 2 --quiet \
+            --metrics-json "$pdir/$policy.json"
+    done
+    python3 - "$pdir"/patu.json "$pdir"/stf_uniform.json \
+        "$pdir"/stf_blue.json "$pdir"/stf_weighted.json \
+        "$pdir"/filter_after_shading.json <<'EOF'
+import json, sys
+
+# The only fields whose *values* identify the policy; every other field
+# may differ in value but the key set itself must be identical.
+POLICY_FIELDS = {
+    "run/filter_policy",
+    "registry/scalars/texunit.policy",
+}
+
+def flatten(node, prefix, out):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            flatten(v, f"{prefix}/{k}" if prefix else k, out)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            flatten(v, f"{prefix}[{i}]", out)
+    else:
+        out[prefix] = node
+    return out
+
+docs = [(p, flatten(json.load(open(p)), "", {})) for p in sys.argv[1:]]
+ref_path, ref = docs[0]
+ok = True
+for path, doc in docs[1:]:
+    missing = ref.keys() - doc.keys()
+    extra = doc.keys() - ref.keys()
+    for k in sorted(missing):
+        print(f"key-set drift: {k} in {ref_path} but not {path}",
+              file=sys.stderr)
+    for k in sorted(extra):
+        print(f"key-set drift: {k} in {path} but not {ref_path}",
+              file=sys.stderr)
+    ok = ok and not missing and not extra
+    for k in POLICY_FIELDS:
+        if doc.get(k) == ref.get(k):
+            print(f"{path}: policy field {k} identical to patu "
+                  f"({doc.get(k)}) — policy did not take effect",
+                  file=sys.stderr)
+            ok = False
+if not ok:
+    sys.exit(1)
+print(f"policy exports schema-identical across {len(docs)} policies "
+      f"({len(ref)} fields each)")
+EOF
+}
+
 # --- matrix ---------------------------------------------------------------
 
-run_stage "1/11 Release + contracts + -Werror" stage_release
-run_stage "2/11 AddressSanitizer" stage_asan
-run_stage "3/11 UndefinedBehaviorSanitizer" stage_ubsan
-run_stage "4/11 ThreadSanitizer (threading subset)" stage_tsan
-run_stage "5/11 tracing compiled out (-DPARGPU_TRACING=OFF)" stage_notrace
-run_stage "6/11 pargpu-lint" stage_lint
-run_stage "7/11 clang-tidy" stage_tidy
-run_stage "8/11 perf gate (texel + tile vs baselines)" stage_perf
-run_stage "9/11 SIMD bit-identity (-DPARGPU_SIMD=OFF vs ON)" stage_simd_identity
-run_stage "10/11 pargpu-analyze + fixture selftest" stage_analyze
-run_stage "11/11 thread-safety analysis (-DPARGPU_TSA=ON)" stage_tsa
+run_stage "1/12 Release + contracts + -Werror" stage_release
+run_stage "2/12 AddressSanitizer" stage_asan
+run_stage "3/12 UndefinedBehaviorSanitizer" stage_ubsan
+run_stage "4/12 ThreadSanitizer (threading subset)" stage_tsan
+run_stage "5/12 tracing compiled out (-DPARGPU_TRACING=OFF)" stage_notrace
+run_stage "6/12 pargpu-lint" stage_lint
+run_stage "7/12 clang-tidy" stage_tidy
+run_stage "8/12 perf gate (texel + tile vs baselines)" stage_perf
+run_stage "9/12 SIMD bit-identity (-DPARGPU_SIMD=OFF vs ON)" stage_simd_identity
+run_stage "10/12 pargpu-analyze + fixture selftest" stage_analyze
+run_stage "11/12 thread-safety analysis (-DPARGPU_TSA=ON)" stage_tsa
+run_stage "12/12 filter-policy matrix (determinism + schema)" stage_policy_matrix
 
 summary
 echo

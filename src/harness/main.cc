@@ -19,6 +19,8 @@
  *                  [--run-max-aniso A] [--run-table-entries E]
  *                  [--run-threads N] [--run-tile-parallel]
  *                  [--run-clusters C]
+ *                  [--run-filter-policy patu|stf_uniform|stf_blue|
+ *                                       stf_weighted|filter_after_shading]
  *                  [--run-reference baseline|noaf|n|ntxds|patu]
  *                  [--metrics-json FILE] [--metrics-csv FILE]
  *                  [--trace-out FILE] [--quiet]
@@ -26,7 +28,8 @@
  * The pre-family spellings (--game, --scenario, --threshold, --width,
  * --height, --frames, --tc-scale, --llc-scale, --max-aniso,
  * --table-entries, --threads, --reference) still work as deprecated
- * aliases; each use prints a one-line warning on stderr.
+ * aliases; the first use of each spelling prints a one-line warning on
+ * stderr (once per process).
  *
  * --run-reference renders a second run under the given scenario and
  * reports MSSIM of the primary run against it (the paper's quality axis).
@@ -90,6 +93,19 @@ parseScenario(const std::string &v)
     std::exit(2);
 }
 
+FilterPolicyId
+parseFilterPolicyOrDie(const std::string &v)
+{
+    FilterPolicyId id;
+    if (parseFilterPolicy(v, id))
+        return id;
+    std::fprintf(stderr, "unknown filter policy '%s' (valid:", v.c_str());
+    for (const FilterPolicyDesc &d : filterPolicyRegistry())
+        std::fprintf(stderr, " %s", d.name);
+    std::fprintf(stderr, ")\n");
+    std::exit(2);
+}
+
 void
 usage()
 {
@@ -108,6 +124,10 @@ usage()
         "                      (bit-identical; PARGPU_TILE_PARALLEL=1\n"
         "                      forces it on)\n"
         "  --run-clusters C    shader clusters (0 = Table I default)\n"
+        "  --run-filter-policy patu|stf_uniform|stf_blue|stf_weighted|\n"
+        "                      filter_after_shading   texture filtering\n"
+        "                      strategy (docs/FILTERING.md; default patu,\n"
+        "                      or PARGPU_FILTER_POLICY when set)\n"
         "  --run-reference S   also render S, report MSSIM against it\n"
         "exports:\n"
         "  --metrics-json F    write the metrics document (schema v%d)\n"
@@ -145,12 +165,18 @@ canonicalFlag(const std::string &flag)
         {"--threads", "--run-threads"},
         {"--reference", "--run-reference"},
     };
-    for (const auto &alias : kAliases) {
-        if (flag == alias.old_name) {
-            std::fprintf(stderr,
-                         "pargpu_harness: '%s' is deprecated, use '%s'\n",
-                         alias.old_name, alias.new_name);
-            return alias.new_name;
+    static bool warned[sizeof(kAliases) / sizeof(kAliases[0])] = {};
+    for (std::size_t k = 0; k < sizeof(kAliases) / sizeof(kAliases[0]);
+         ++k) {
+        if (flag == kAliases[k].old_name) {
+            if (!warned[k]) {
+                warned[k] = true;
+                std::fprintf(
+                    stderr,
+                    "pargpu_harness: '%s' is deprecated, use '%s'\n",
+                    kAliases[k].old_name, kAliases[k].new_name);
+            }
+            return kAliases[k].new_name;
         }
     }
     return flag;
@@ -199,6 +225,9 @@ parseArgs(int argc, char **argv)
             o.run.tile_parallel = true;
         } else if (a == "--run-clusters") {
             o.run.clusters = std::atoi(need("--run-clusters").c_str());
+        } else if (a == "--run-filter-policy") {
+            o.run.filter_policy =
+                parseFilterPolicyOrDie(need("--run-filter-policy"));
         } else if (a == "--run-reference") {
             o.have_reference = true;
             o.reference = parseScenario(need("--run-reference"));
@@ -259,6 +288,11 @@ main(int argc, char **argv)
     if (o.have_reference) {
         RunConfig ref_cfg = o.run;
         ref_cfg.scenario = o.reference;
+        // The reference is the quality yardstick: always exact filtering
+        // under the requested scenario, never an approximating policy
+        // (comparing an STF run against its own noise would report a
+        // meaningless MSSIM of 1).
+        ref_cfg.filter_policy = FilterPolicyId::Patu;
         RunResult ref = runTrace(trace, ref_cfg);
         mssim = run.mssimAgainst(ref.images);
     }
@@ -297,6 +331,8 @@ main(int argc, char **argv)
                     o.frames);
         std::printf("scenario   : %s, threshold %.2f\n",
                     scenarioMetricName(o.run.scenario), o.run.threshold);
+        std::printf("policy     : %s\n",
+                    filterPolicyName(o.run.filter_policy));
         std::printf("avg cycles : %.0f (%.2f fps @1GHz)\n", run.avg_cycles,
                     run.avg_cycles > 0.0 ? 1e9 / run.avg_cycles : 0.0);
         std::printf("energy     : %.3f mJ (%.2f W avg)\n",

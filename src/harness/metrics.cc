@@ -64,6 +64,8 @@ constexpr FrameField kFrameFields[] = {
     {"divergent_quads",
      [](const FrameStats &f) { return f.divergent_quads; }},
     {"af_quads", [](const FrameStats &f) { return f.af_quads; }},
+    {"stf_samples", [](const FrameStats &f) { return f.stf_samples; }},
+    {"fas_quads", [](const FrameStats &f) { return f.fas_quads; }},
     {"traffic_texture",
      [](const FrameStats &f) { return f.traffic_texture; }},
     {"traffic_colordepth",
@@ -134,6 +136,8 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
         t.shared_samples += f.shared_samples;
         t.divergent_quads += f.divergent_quads;
         t.af_quads += f.af_quads;
+        t.stf_samples += f.stf_samples;
+        t.fas_quads += f.fas_quads;
         t.traffic_texture += f.traffic_texture;
         t.traffic_colordepth += f.traffic_colordepth;
         t.traffic_geometry += f.traffic_geometry;
@@ -185,6 +189,16 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
     reg.set("texture.morton_storage",
             TextureMap::defaultStorage() == TexelStorage::Morton ? 1.0
                                                                  : 0.0);
+
+    // FilterPolicy reporting (docs/FILTERING.md). Counters are emitted
+    // unconditionally (zero under Patu) so the registry key set is
+    // identical across policies; only texunit.policy's value differs.
+    reg.set("texunit.policy",
+            static_cast<double>(run.frames.empty()
+                                    ? 0
+                                    : run.frames.front().filter_policy));
+    reg.inc("texunit.stf_samples", t.stf_samples);
+    reg.inc("texunit.fas_quads", t.fas_quads);
 
     // PATU prediction.
     reg.inc("patu.table_accesses", t.table_accesses);
@@ -303,6 +317,8 @@ metricsJson(const RunMetadata &meta, const RunConfig &config,
     rj.set("threads", Json{config.threads});
     rj.set("tile_parallel", Json{config.tile_parallel});
     rj.set("clusters", Json{config.clusters});
+    rj.set("filter_policy",
+           Json{std::string(filterPolicyName(config.filter_policy))});
     // Host-machine context: makes cross-machine metric comparisons
     // interpretable (the simulated metrics are host-independent; only
     // wall-clock and the active kernel tier depend on these).

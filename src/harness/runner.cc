@@ -60,6 +60,9 @@ configErrorMessage(ConfigError error)
         return "threads must be in [0, 4096] (0 = default)";
     case ConfigError::BadClusters:
         return "clusters must be in [0, 64] (0 = default)";
+    case ConfigError::BadFilterPolicy:
+        return "filter-policy must be one of "
+               "patu|stf_uniform|stf_blue|stf_weighted|filter_after_shading";
     }
     return "invalid RunConfig";
 }
@@ -82,6 +85,8 @@ RunConfig::validate() const
         errors.push_back(ConfigError::BadThreads);
     if (clusters < 0 || clusters > 64)
         errors.push_back(ConfigError::BadClusters);
+    if (!isKnownFilterPolicy(filter_policy))
+        errors.push_back(ConfigError::BadFilterPolicy);
     return errors;
 }
 
@@ -118,6 +123,7 @@ makeGpuConfig(const RunConfig &config)
     if (config.clusters > 0)
         g.clusters = static_cast<unsigned>(config.clusters);
     g.tile_parallel = config.tile_parallel;
+    g.filter_policy = config.filter_policy;
     return g;
 }
 

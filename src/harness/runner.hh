@@ -20,6 +20,7 @@
 #include "quality/ssim.hh"
 #include "scenes/scenes.hh"
 #include "sim/pipeline.hh"
+#include "texture/filter_policy.hh"
 
 namespace pargpu
 {
@@ -38,6 +39,7 @@ enum class ConfigError
     BadTableEntries, ///< table_entries negative or above 4096.
     BadThreads,      ///< threads negative or above 4096.
     BadClusters,     ///< clusters negative or above 64.
+    BadFilterPolicy, ///< filter_policy not a registered policy.
 };
 
 /** Human-readable description of @p error (includes the legal range). */
@@ -59,6 +61,11 @@ struct RunConfig
                                 ///< clusters (GpuConfig::tile_parallel;
                                 ///< bit-identical to serial).
     int clusters = 0;         ///< Shader clusters (0 = Table I default).
+    /**
+     * Texture-unit filtering strategy (docs/FILTERING.md); defaults to
+     * PARGPU_FILTER_POLICY when set, else the paper's PATU flow.
+     */
+    FilterPolicyId filter_policy = defaultFilterPolicy();
 
     /**
      * Check every field against its legal range and return the list of
@@ -71,7 +78,8 @@ struct RunConfig
      * (the cache model requires a power-of-two set count); max_aniso in
      * [1,64]; table_entries in [0,4096] (0 = scenario default);
      * threads in [0,4096] (0 = PARGPU_THREADS/default); clusters in
-     * [0,64] (0 = Table I default).
+     * [0,64] (0 = Table I default); filter_policy a registered
+     * FilterPolicyId.
      */
     std::vector<ConfigError> validate() const;
 };

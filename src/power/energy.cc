@@ -15,6 +15,8 @@ computeEnergy(const FrameStats &stats, const EnergyParams &params)
                      params.shader_cycle_pj);
     e.filter_nj = nj(static_cast<double>(stats.trilinear_samples) *
                          params.trilinear_pj +
+                     static_cast<double>(stats.stf_samples) *
+                         params.stf_texel_pj +
                      static_cast<double>(stats.addr_ops) *
                          params.addr_op_pj);
     e.table_nj = nj(static_cast<double>(stats.table_accesses) *

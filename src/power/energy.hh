@@ -25,6 +25,12 @@ struct EnergyParams
     // Dynamic, per event.
     double shader_cycle_pj = 260.0;  ///< Active shader-cluster cycle.
     double trilinear_pj = 42.0;      ///< One trilinear filter operation.
+    /**
+     * One single-texel stochastic filter step (STF policies): a fetch
+     * plus one weight multiply-accumulate — about 1/8 of a full 8-texel
+     * trilinear op plus the per-sample setup.
+     */
+    double stf_texel_pj = 6.0;
     double addr_op_pj = 3.0;         ///< One texel-address calculation.
     double table_access_pj = 9.0;    ///< PATU hash-table insert (2 KB SRAM).
     double l1_access_pj = 11.0;      ///< Texture L1 access (16 KB).

@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "core/patu.hh"
 #include "mem/memsys.hh"
+#include "texture/filter_policy.hh"
 
 namespace pargpu
 {
@@ -75,6 +76,14 @@ struct GpuConfig
      * PARGPU_TILE_PARALLEL=1 forces it on process-wide.
      */
     bool tile_parallel = false;
+
+    /**
+     * Texture-unit filtering strategy for anisotropic draws
+     * (docs/FILTERING.md). Patu is the paper's predictor-gated AF->TF
+     * downgrade; the stochastic and filter-after-shading policies replace
+     * the anisotropic loop wholesale and ignore the PATU predictor.
+     */
+    FilterPolicyId filter_policy = FilterPolicyId::Patu;
 
     // --- Subsystem configurations --------------------------------------
     MemSysConfig mem;   ///< Caches + DRAM (Table I defaults).

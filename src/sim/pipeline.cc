@@ -1,12 +1,14 @@
 #include "sim/pipeline.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <span>
 
 #include "common/contract.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/threadpool.hh"
 #include "common/tracing.hh"
 #include "sim/framebuffer.hh"
@@ -119,8 +121,28 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         PhaseGuard serial(mem_->serial_phase);
         mem_->reset();
     }
-    for (auto &tu : tus_)
+    // Per-frame noise seed for the stochastic filter policies: a pure
+    // function of the camera (the per-frame input that actually changes),
+    // hashed through the counter-based discipline. Frame-parallel
+    // partitions and any thread count therefore derive the same seed for
+    // the same frame, keeping STF output bit-identical across execution
+    // modes — a per-simulator frame counter would not survive frame
+    // partitioning.
+    std::uint32_t frame_seed = 0x9E3779B9u;
+    const auto mix_mat = [&frame_seed](const Mat4 &m) {
+        for (const auto &row : m.m)
+            for (float v : row)
+                frame_seed = hashCombine(
+                    std::bit_cast<std::uint32_t>(v), frame_seed,
+                    0x85EBCA6Bu);
+    };
+    mix_mat(camera.view);
+    mix_mat(camera.proj);
+
+    for (auto &tu : tus_) {
         tu->resetStats();
+        tu->beginFrame(frame_seed);
+    }
 
     // Cache and DRAM hit/miss counters are cumulative across flushes
     // (their units keep lifetime stats); snapshot them here so the frame
@@ -573,6 +595,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
     fs.total_cycles = fs.geometry_cycles + fs.fragment_cycles;
     fs.shader_busy_cycles += geometry_cycles;
 
+    fs.filter_policy = static_cast<std::uint64_t>(config_.filter_policy);
     for (const auto &tu : tus_) {
         const TexUnitStats &ts = tu->stats();
         fs.texture_filter_cycles += ts.filter_busy;
@@ -596,6 +619,8 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         fs.shared_samples += ts.shared_samples;
         fs.divergent_quads += ts.divergent_quads;
         fs.af_quads += ts.af_quads;
+        fs.stf_samples += ts.stf_samples;
+        fs.fas_quads += ts.fas_quads;
     }
 
     // Per-cluster shards: identical between the serial and tile-parallel

@@ -87,6 +87,11 @@ struct FrameStats
     std::uint64_t divergent_quads = 0;
     std::uint64_t af_quads = 0;
 
+    // --- FilterPolicy activity (docs/FILTERING.md) -----------------------
+    std::uint64_t filter_policy = 0; ///< FilterPolicyId the TUs ran.
+    std::uint64_t stf_samples = 0; ///< Single-texel stochastic fetches.
+    std::uint64_t fas_quads = 0;   ///< Quads filtered after shading.
+
     // --- Memory ----------------------------------------------------------
     Bytes traffic_texture = 0;
     Bytes traffic_colordepth = 0;

@@ -84,6 +84,24 @@ TextureUnit::queueSample(const TexelAddrSet &addrs)
     ++stats_.trilinear_samples;
 }
 
+void
+TextureUnit::queueTexel(Addr addr)
+{
+    // Single-texel variant of queueSample() for the stochastic policies:
+    // one address, one texel, no trilinear op. STF draws within a pixel
+    // walk the footprint's AF line, so the same last-line hint applies
+    // (slot 0: STF fetches all land on the decision LOD's level pair).
+    const Addr mask = ~(static_cast<Addr>(mem_->config().line_bytes) - 1);
+    Addr la = addr & mask;
+    Addr &prev = prev_line_[0];
+    if (la != prev) {
+        lines_.insertLine(la);
+        prev = la;
+    }
+    stats_.texels += 1;
+    ++stats_.stf_samples;
+}
+
 Cycle
 TextureUnit::processQuadWork(const QuadFragment &quad,
                              const TextureMap &tex, FilterMode mode,
@@ -141,6 +159,7 @@ TextureUnit::processQuadWork(const QuadFragment &quad,
                 plan.color = cols[k];
                 plan.fetch_samples = 1;
                 plan.addr_samples = 1;
+                plan.filter_texels = 8;
                 queueSample(aset[k]);
             }
         }
@@ -169,158 +188,22 @@ TextureUnit::processQuadWork(const QuadFragment &quad,
             }
             act[n_act++] = i;
         }
-        // One evaluation covers the quad (the info is quad-wide and the
-        // pre-decision is a pure function of it); the per-pixel decision
-        // counters advance as if each pixel had decided for itself.
-        PixelDecision d = patu_.preDecideN(info, n_act);
-
-        if (n_act > 0 && d.need_distribution) {
-            // Stage-2 scenarios interleave footprint generation, the
-            // hash-table check and a possible TF recalculation per pixel,
-            // and the decision can diverge across the quad: stay
-            // per-pixel.
-            for (int a = 0; a < n_act; ++a) {
-                const int i = act[a];
-                PixelPlan &plan = plans[i];
-                PixelDecision di = d; // Identical for every pixel.
-
-                // Texel Address Calculation for all N samples, fed into
-                // the hash table as each sample's addresses complete
-                // (overlapped with address calculation, Section V-B).
-                footprints[i] = arena_.allocSpanUninit<TexelAddrSet>(
-                    static_cast<std::size_t>(info.sampleSize));
-                Color4f sample_cols[simd::kMaxLanes];
-                Color4f af_color = qfilter_.filterAnisotropicAddrs(
-                    sampler, quad.uv[i], info, memo_, footprints[i].data(),
-                    sample_cols);
-                plan.addr_samples = static_cast<int>(footprints[i].size());
-                stats_.table_accesses += footprints[i].size();
-                patu_.finishDistribution(di, info, footprints[i]);
-
-                plan.approximate = di.approximate;
-                plan.stage = di.stage;
-                switch (di.stage) {
-                  case DecisionStage::Distribution:
-                    ++stats_.approx_stage2;
-                    break;
-                  case DecisionStage::FullAf:
-                    ++stats_.full_af;
-                    break;
-                  default:
-                    PARGPU_INVARIANT(false, "distribution check returned "
-                                            "a non-stage-2 decision");
-                }
-
-                if (di.approximate) {
-                    any_approx = any_approx || info.sampleSize > 1;
-                    // The decision LOD must be a usable mip coordinate
-                    // (trilinearInto() clamps the top end against the
-                    // actual chain length).
-                    PARGPU_ASSERT(di.lod >= 0.0f && di.lod <= 32.0f,
-                                  "decision LOD out of mip-chain bounds: ",
-                                  di.lod);
-                    // TF at the decision's LOD. Stage-2 approximations
-                    // pay one extra address-recalculation loop
-                    // (Section V-B).
-                    TexelAddrSet tf_addrs;
-                    plan.color = qfilter_.filterTrilinearAddrs(
-                        sampler, quad.uv[i], di.lod, memo_, tf_addrs);
-                    plan.fetch_samples = 1;
-                    plan.addr_samples += 1;
-                    queueSample(tf_addrs);
-                } else {
-                    any_keep = any_keep || info.sampleSize > 1;
-                    // Reuse the footprints (and color) from the
-                    // distribution check.
-                    plan.color = af_color;
-                    plan.fetch_samples =
-                        static_cast<int>(footprints[i].size());
-                    for (const TexelAddrSet &s : footprints[i])
-                        queueSample(s);
-                }
-            }
-        } else if (n_act > 0) {
-            for (int a = 0; a < n_act; ++a) {
-                plans[act[a]].approximate = d.approximate;
-                plans[act[a]].stage = d.stage;
-                switch (d.stage) {
-                  case DecisionStage::TrivialTf:
-                    ++stats_.trivial_tf;
-                    break;
-                  case DecisionStage::SampleArea:
-                    ++stats_.approx_stage1;
-                    break;
-                  case DecisionStage::FullAf:
-                    ++stats_.full_af;
-                    break;
-                  case DecisionStage::Forced:
-                    if (d.approximate)
-                        ++stats_.trivial_tf;
-                    else
-                        ++stats_.full_af;
-                    break;
-                  case DecisionStage::Distribution:
-                    PARGPU_INVARIANT(false, "stage-2 decision without a "
-                                            "distribution check");
-                }
-            }
-
-            if (d.approximate) {
-                any_approx = any_approx || info.sampleSize > 1;
-                PARGPU_ASSERT(d.lod >= 0.0f && d.lod <= 32.0f,
-                              "decision LOD out of mip-chain bounds: ",
-                              d.lod);
-                // TF at the decision's LOD: one sample per covered
-                // pixel, all at the same level selection — one batch.
-                TexelAddrSet aset[4];
-                Color4f cols[4];
-                Vec2 uvs[4];
-                for (int a = 0; a < n_act; ++a)
-                    uvs[a] = quad.uv[act[a]];
-                qfilter_.filterSamplesAddrs(sampler, uvs, n_act,
-                                            sampler.selectLod(d.lod),
-                                            memo_, aset, cols);
-                for (int a = 0; a < n_act; ++a) {
-                    PixelPlan &plan = plans[act[a]];
-                    plan.color = cols[a];
-                    plan.fetch_samples = 1;
-                    plan.addr_samples += 1;
-                    queueSample(aset[a]);
-                }
-            } else {
-                // Baseline / AF-SSIM(N) kept AF without the distribution
-                // stage: every covered pixel issues the same N samples
-                // at AF's level selection — one batch for the quad.
-                any_keep = any_keep || info.sampleSize > 1;
-                const int n = info.sampleSize;
-                PARGPU_ASSERT(n_act * n <= simd::kMaxLanes,
-                              "quad AF batch exceeds the SoA lane count: ",
-                              n_act * n);
-                std::span<TexelAddrSet> s =
-                    arena_.allocSpanUninit<TexelAddrSet>(
-                        static_cast<std::size_t>(n_act) * n);
-                Color4f cols[simd::kMaxLanes];
-                Vec2 uvs[simd::kMaxLanes];
-                for (int a = 0; a < n_act; ++a)
-                    qfilter_.anisoUvs(quad.uv[act[a]], info,
-                                      uvs + a * static_cast<std::size_t>(n));
-                qfilter_.filterSamplesAddrs(sampler, uvs, n_act * n,
-                                            sampler.selectLod(info.lodAF),
-                                            memo_, s.data(), cols);
-                for (int a = 0; a < n_act; ++a) {
-                    const int i = act[a];
-                    footprints[i] =
-                        s.subspan(static_cast<std::size_t>(a) * n,
-                                  static_cast<std::size_t>(n));
-                    PixelPlan &plan = plans[i];
-                    plan.color = simd::QuadFilter::averageColors(
-                        cols + static_cast<std::size_t>(a) * n, n);
-                    plan.addr_samples = n;
-                    plan.fetch_samples = n;
-                    for (const TexelAddrSet &smp : footprints[i])
-                        queueSample(smp);
-                }
-            }
+        // FilterPolicy dispatch (docs/FILTERING.md): the coverage prolog
+        // above and the divergence/Fig. 12 epilog below are shared; only
+        // the filtering strategy in between is policy-specific.
+        switch (config_.filter_policy) {
+          case FilterPolicyId::Patu:
+            anisoQuadPatu(quad, sampler, info, plans, footprints, act,
+                          n_act, any_approx, any_keep);
+            break;
+          case FilterPolicyId::StfUniform:
+          case FilterPolicyId::StfBlue:
+          case FilterPolicyId::StfWeighted:
+            anisoQuadStf(quad, sampler, info, plans, act, n_act);
+            break;
+          case FilterPolicyId::FilterAfterShading:
+            anisoQuadFas(quad, sampler, info, plans, act, n_act);
+            break;
         }
     }
 
@@ -332,15 +215,18 @@ TextureUnit::processQuadWork(const QuadFragment &quad,
     // --- Timing -----------------------------------------------------
     // Address ALUs: 8 addresses per trilinear sample over addr_alus ALUs
     // per pixel pipeline; the four pipelines run in lockstep so the quad
-    // pays the slowest pixel. Filtering likewise at 2 cycles per sample.
+    // pays the slowest pixel. The 8 filtering ALUs blend 8 texels per
+    // cycles_per_trilinear, rounded up per pixel — exactly
+    // fetch_samples * cycles_per_trilinear for full 8-texel samples, and
+    // proportionally less for the single-texel STF policies.
     Cycle addr_cycles = 0, filter_cycles = 0;
     for (const PixelPlan &plan : plans) {
         if (!plan.active)
             continue;
         Cycle a = static_cast<Cycle>(plan.addr_samples) *
             (8 / config_.addr_alus);
-        Cycle f = static_cast<Cycle>(plan.fetch_samples) *
-            config_.cycles_per_trilinear;
+        Cycle f = (static_cast<Cycle>(plan.filter_texels) *
+                       config_.cycles_per_trilinear + 7) / 8;
         addr_cycles = std::max(addr_cycles, a);
         filter_cycles = std::max(filter_cycles, f);
         stats_.addr_ops +=
@@ -367,6 +253,254 @@ TextureUnit::processQuadWork(const QuadFragment &quad,
     for (int i = 0; i < 4; ++i)
         out_color[i] = plans[i].color;
     return addr_cycles + filter_cycles;
+}
+
+void
+TextureUnit::anisoQuadPatu(const QuadFragment &quad,
+                           const TextureSampler &sampler,
+                           const AnisotropyInfo &info, PixelPlan plans[4],
+                           std::span<TexelAddrSet> footprints[4],
+                           const int act[4], int n_act, bool &any_approx,
+                           bool &any_keep)
+{
+    // One evaluation covers the quad (the info is quad-wide and the
+    // pre-decision is a pure function of it); the per-pixel decision
+    // counters advance as if each pixel had decided for itself.
+    PixelDecision d = patu_.preDecideN(info, n_act);
+
+    if (n_act > 0 && d.need_distribution) {
+        // Stage-2 scenarios interleave footprint generation, the
+        // hash-table check and a possible TF recalculation per pixel,
+        // and the decision can diverge across the quad: stay
+        // per-pixel.
+        for (int a = 0; a < n_act; ++a) {
+            const int i = act[a];
+            PixelPlan &plan = plans[i];
+            PixelDecision di = d; // Identical for every pixel.
+
+            // Texel Address Calculation for all N samples, fed into
+            // the hash table as each sample's addresses complete
+            // (overlapped with address calculation, Section V-B).
+            footprints[i] = arena_.allocSpanUninit<TexelAddrSet>(
+                static_cast<std::size_t>(info.sampleSize));
+            Color4f sample_cols[simd::kMaxLanes];
+            Color4f af_color = qfilter_.filterAnisotropicAddrs(
+                sampler, quad.uv[i], info, memo_, footprints[i].data(),
+                sample_cols);
+            plan.addr_samples = static_cast<int>(footprints[i].size());
+            stats_.table_accesses += footprints[i].size();
+            patu_.finishDistribution(di, info, footprints[i]);
+
+            plan.approximate = di.approximate;
+            plan.stage = di.stage;
+            switch (di.stage) {
+              case DecisionStage::Distribution:
+                ++stats_.approx_stage2;
+                break;
+              case DecisionStage::FullAf:
+                ++stats_.full_af;
+                break;
+              default:
+                PARGPU_INVARIANT(false, "distribution check returned "
+                                        "a non-stage-2 decision");
+            }
+
+            if (di.approximate) {
+                any_approx = any_approx || info.sampleSize > 1;
+                // The decision LOD must be a usable mip coordinate
+                // (trilinearInto() clamps the top end against the
+                // actual chain length).
+                PARGPU_ASSERT(di.lod >= 0.0f && di.lod <= 32.0f,
+                              "decision LOD out of mip-chain bounds: ",
+                              di.lod);
+                // TF at the decision's LOD. Stage-2 approximations
+                // pay one extra address-recalculation loop
+                // (Section V-B).
+                TexelAddrSet tf_addrs;
+                plan.color = qfilter_.filterTrilinearAddrs(
+                    sampler, quad.uv[i], di.lod, memo_, tf_addrs);
+                plan.fetch_samples = 1;
+                plan.filter_texels = 8;
+                plan.addr_samples += 1;
+                queueSample(tf_addrs);
+            } else {
+                any_keep = any_keep || info.sampleSize > 1;
+                // Reuse the footprints (and color) from the
+                // distribution check.
+                plan.color = af_color;
+                plan.fetch_samples =
+                    static_cast<int>(footprints[i].size());
+                plan.filter_texels = 8 * plan.fetch_samples;
+                for (const TexelAddrSet &s : footprints[i])
+                    queueSample(s);
+            }
+        }
+    } else if (n_act > 0) {
+        for (int a = 0; a < n_act; ++a) {
+            plans[act[a]].approximate = d.approximate;
+            plans[act[a]].stage = d.stage;
+            switch (d.stage) {
+              case DecisionStage::TrivialTf:
+                ++stats_.trivial_tf;
+                break;
+              case DecisionStage::SampleArea:
+                ++stats_.approx_stage1;
+                break;
+              case DecisionStage::FullAf:
+                ++stats_.full_af;
+                break;
+              case DecisionStage::Forced:
+                if (d.approximate)
+                    ++stats_.trivial_tf;
+                else
+                    ++stats_.full_af;
+                break;
+              case DecisionStage::Distribution:
+                PARGPU_INVARIANT(false, "stage-2 decision without a "
+                                        "distribution check");
+            }
+        }
+
+        if (d.approximate) {
+            any_approx = any_approx || info.sampleSize > 1;
+            PARGPU_ASSERT(d.lod >= 0.0f && d.lod <= 32.0f,
+                          "decision LOD out of mip-chain bounds: ",
+                          d.lod);
+            // TF at the decision's LOD: one sample per covered
+            // pixel, all at the same level selection — one batch.
+            TexelAddrSet aset[4];
+            Color4f cols[4];
+            Vec2 uvs[4];
+            for (int a = 0; a < n_act; ++a)
+                uvs[a] = quad.uv[act[a]];
+            qfilter_.filterSamplesAddrs(sampler, uvs, n_act,
+                                        sampler.selectLod(d.lod),
+                                        memo_, aset, cols);
+            for (int a = 0; a < n_act; ++a) {
+                PixelPlan &plan = plans[act[a]];
+                plan.color = cols[a];
+                plan.fetch_samples = 1;
+                plan.filter_texels = 8;
+                plan.addr_samples += 1;
+                queueSample(aset[a]);
+            }
+        } else {
+            // Baseline / AF-SSIM(N) kept AF without the distribution
+            // stage: every covered pixel issues the same N samples
+            // at AF's level selection — one batch for the quad.
+            any_keep = any_keep || info.sampleSize > 1;
+            const int n = info.sampleSize;
+            PARGPU_ASSERT(n_act * n <= simd::kMaxLanes,
+                          "quad AF batch exceeds the SoA lane count: ",
+                          n_act * n);
+            std::span<TexelAddrSet> s =
+                arena_.allocSpanUninit<TexelAddrSet>(
+                    static_cast<std::size_t>(n_act) * n);
+            Color4f cols[simd::kMaxLanes];
+            Vec2 uvs[simd::kMaxLanes];
+            for (int a = 0; a < n_act; ++a)
+                qfilter_.anisoUvs(quad.uv[act[a]], info,
+                                  uvs + a * static_cast<std::size_t>(n));
+            qfilter_.filterSamplesAddrs(sampler, uvs, n_act * n,
+                                        sampler.selectLod(info.lodAF),
+                                        memo_, s.data(), cols);
+            for (int a = 0; a < n_act; ++a) {
+                const int i = act[a];
+                footprints[i] =
+                    s.subspan(static_cast<std::size_t>(a) * n,
+                              static_cast<std::size_t>(n));
+                PixelPlan &plan = plans[i];
+                plan.color = simd::QuadFilter::averageColors(
+                    cols + static_cast<std::size_t>(a) * n, n);
+                plan.addr_samples = n;
+                plan.fetch_samples = n;
+                plan.filter_texels = 8 * n;
+                for (const TexelAddrSet &smp : footprints[i])
+                    queueSample(smp);
+            }
+        }
+    }
+}
+
+void
+TextureUnit::anisoQuadStf(const QuadFragment &quad,
+                          const TextureSampler &sampler,
+                          const AnisotropyInfo &info, PixelPlan plans[4],
+                          const int act[4], int n_act)
+{
+    // Stochastic texture filtering (docs/FILTERING.md): every AF sample
+    // position still computes its footprint's addresses (the address
+    // pipeline is unchanged), but only ONE stochastically chosen texel
+    // per sample is fetched and blended — 1/8 of the texel traffic of
+    // full AF, with noise instead of blur as the error term. The PATU
+    // predictor is bypassed entirely.
+    if (n_act == 0)
+        return;
+    const TextureMap &tex = sampler.texture();
+    const LodSelect sel = sampler.selectLod(info.lodAF);
+    const int n = info.sampleSize;
+    const bool weighted =
+        config_.filter_policy == FilterPolicyId::StfWeighted;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    Vec2 uvs[simd::kMaxLanes];
+    for (int a = 0; a < n_act; ++a) {
+        const int i = act[a];
+        PixelPlan &plan = plans[i];
+        const int px = quad.x + (i & 1);
+        const int py = quad.y + (i >> 1);
+        // Same sample placement along the anisotropy's major axis as the
+        // exact path (the SoA kernel layer's helper).
+        simd::QuadFilter::anisoUvs(quad.uv[i], info, uvs);
+        Color4f acc{0.0f, 0.0f, 0.0f, 0.0f};
+        for (int smp = 0; smp < n; ++smp) {
+            const float u = stfSampleU(config_.filter_policy, px, py, smp,
+                                       frame_seed_);
+            StfTexelChoice c = stfSelectTexel(tex, uvs[smp], sel, weighted,
+                                              u);
+            queueTexel(c.addr);
+            acc += c.estimator * inv_n;
+        }
+        plan.color = acc;
+        plan.fetch_samples = n;
+        plan.addr_samples = n;
+        plan.filter_texels = n; // One texel blended per sample.
+    }
+}
+
+void
+TextureUnit::anisoQuadFas(const QuadFragment &quad,
+                          const TextureSampler &sampler,
+                          const AnisotropyInfo &info, PixelPlan plans[4],
+                          const int act[4], int n_act)
+{
+    // Filtering after shading (docs/FILTERING.md): each covered pixel
+    // takes ONE sharp trilinear sample at its footprint centroid at AF's
+    // LOD (no blur from TF's coarser level), and the filtering moves
+    // downstream of sampling — the quad's results are blended with a
+    // tent kernel over the 2x2. In this pipeline the downstream shader
+    // is an affine modulation, so filtering the sampled colors across
+    // the quad is exactly filtering the shaded results, minus any
+    // shader nonlinearity.
+    if (n_act == 0)
+        return;
+    TexelAddrSet aset[4];
+    Color4f cols[4];
+    Vec2 uvs[4];
+    for (int a = 0; a < n_act; ++a)
+        uvs[a] = quad.uv[act[a]];
+    qfilter_.filterSamplesAddrs(sampler, uvs, n_act,
+                                sampler.selectLod(info.lodAF), memo_, aset,
+                                cols);
+    const Color4f mean = simd::QuadFilter::averageColors(cols, n_act);
+    for (int a = 0; a < n_act; ++a) {
+        PixelPlan &plan = plans[act[a]];
+        plan.color = (cols[a] + mean) * 0.5f;
+        plan.fetch_samples = 1;
+        plan.addr_samples = 1;
+        plan.filter_texels = 12; // 8-texel trilinear + 4-color quad blend.
+        queueSample(aset[a]);
+    }
+    ++stats_.fas_quads;
 }
 
 QuadFilterResult

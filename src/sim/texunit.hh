@@ -18,6 +18,7 @@
 #define PARGPU_SIM_TEXUNIT_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/annotations.hh"
@@ -61,6 +62,10 @@ struct TexUnitStats
     std::uint64_t shared_samples = 0;   ///< ... that share a texel set.
     std::uint64_t divergent_quads = 0;  ///< Quads with mixed decisions.
     std::uint64_t af_quads = 0;         ///< Quads with any N > 1 pixel.
+
+    // FilterPolicy counters (docs/FILTERING.md). Zero under Patu.
+    std::uint64_t stf_samples = 0;      ///< Single-texel stochastic fetches.
+    std::uint64_t fas_quads = 0;        ///< Quads filtered after shading.
 };
 
 /** Result of filtering one quad. */
@@ -154,6 +159,13 @@ class TextureUnit
     /** Zero the per-frame counters. */
     void resetStats() { stats_ = TexUnitStats{}; }
 
+    /**
+     * Install the frame's noise seed (a pure function of the camera,
+     * hashed by the pipeline) for the stochastic filter policies. Pure
+     * state: safe to call from any execution mode before rendering.
+     */
+    void beginFrame(std::uint32_t frame_seed) { frame_seed_ = frame_seed; }
+
   private:
     /** Per-pixel outcome inside a quad. */
     struct PixelPlan
@@ -163,6 +175,13 @@ class TextureUnit
         DecisionStage stage = DecisionStage::FullAf;
         int fetch_samples = 0; ///< Trilinear samples actually fetched.
         int addr_samples = 0;  ///< Samples whose addresses were computed.
+        /**
+         * Texels blended by the filtering ALUs for this pixel — the unit
+         * of filter timing (8 per full trilinear sample, 1 per STF
+         * texel). The 8 filter ALUs retire 8 texels per
+         * cycles_per_trilinear.
+         */
+        int filter_texels = 0;
         Color4f color;
     };
 
@@ -200,6 +219,9 @@ class TextureUnit
     /** Record a sample's lines into the quad batch (no memory access). */
     void queueSample(const TexelAddrSet &addrs);
 
+    /** Record one stochastically chosen texel (STF policies). */
+    void queueTexel(Addr addr);
+
     /**
      * Everything about a quad that does not depend on memory timing:
      * filtering decisions, colors, line collection (left in lines_) and
@@ -209,6 +231,28 @@ class TextureUnit
      */
     Cycle processQuadWork(const QuadFragment &quad, const TextureMap &tex,
                           FilterMode mode, Color4f out_color[4]);
+
+    /**
+     * Anisotropic-path FilterPolicy bodies, dispatched by
+     * processQuadWork() on config_.filter_policy after the shared
+     * coverage prolog; each fills the covered pixels' plans and queues
+     * the lines it fetches. anisoQuadPatu() is the paper's decision flow
+     * (Fig. 13) verbatim; the others are documented in docs/FILTERING.md.
+     */
+    void anisoQuadPatu(const QuadFragment &quad,
+                       const TextureSampler &sampler,
+                       const AnisotropyInfo &info, PixelPlan plans[4],
+                       std::span<TexelAddrSet> footprints[4],
+                       const int act[4], int n_act, bool &any_approx,
+                       bool &any_keep);
+    void anisoQuadStf(const QuadFragment &quad,
+                      const TextureSampler &sampler,
+                      const AnisotropyInfo &info, PixelPlan plans[4],
+                      const int act[4], int n_act);
+    void anisoQuadFas(const QuadFragment &quad,
+                      const TextureSampler &sampler,
+                      const AnisotropyInfo &info, PixelPlan plans[4],
+                      const int act[4], int n_act);
 
     GpuConfig config_;
     unsigned cluster_;
@@ -224,6 +268,7 @@ class TextureUnit
     Addr prev_line_[2] = {~static_cast<Addr>(0), ~static_cast<Addr>(0)};
     BumpArena arena_;      ///< Per-quad AF footprint storage.
     simd::QuadFilter qfilter_; ///< SoA batch filter (see src/simd/).
+    std::uint32_t frame_seed_ = 0; ///< Camera-derived STF noise seed.
 };
 
 } // namespace pargpu

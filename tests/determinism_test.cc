@@ -52,6 +52,9 @@ expectStatsEqual(const FrameStats &a, const FrameStats &b)
     PARGPU_EQ(shared_samples);
     PARGPU_EQ(divergent_quads);
     PARGPU_EQ(af_quads);
+    PARGPU_EQ(filter_policy);
+    PARGPU_EQ(stf_samples);
+    PARGPU_EQ(fas_quads);
     PARGPU_EQ(traffic_texture);
     PARGPU_EQ(traffic_colordepth);
     PARGPU_EQ(traffic_geometry);
@@ -280,6 +283,45 @@ TEST(Determinism, TileParallelRegistryIdentical)
     buildRunRegistry(b, rb);
     EXPECT_EQ(ra.snapshot().toJson().dump(1),
               rb.snapshot().toJson().dump(1));
+}
+
+TEST(Determinism, FilterPoliciesAcrossModes)
+{
+    // The stochastic policies draw noise only from (pixel, sample,
+    // camera-hash) counters, so every execution mode must reproduce the
+    // serial run bit-for-bit: thread counts, tile parallelism, and both
+    // composed (docs/FILTERING.md, determinism strategy).
+    GameTrace trace = smallTrace();
+    for (FilterPolicyId policy :
+         {FilterPolicyId::StfUniform, FilterPolicyId::StfBlue,
+          FilterPolicyId::StfWeighted,
+          FilterPolicyId::FilterAfterShading}) {
+        SCOPED_TRACE(filterPolicyName(policy));
+        RunConfig serial_cfg;
+        serial_cfg.filter_policy = policy;
+        serial_cfg.threads = 1;
+        RunResult ref = runTrace(trace, serial_cfg);
+
+        RunConfig frame_cfg = serial_cfg;
+        for (int threads : {3, 8}) {
+            frame_cfg.threads = threads;
+            expectRunsEqual(ref, runTrace(trace, frame_cfg));
+        }
+
+        RunConfig tile_cfg = serial_cfg;
+        tile_cfg.tile_parallel = true;
+        for (unsigned workers : {1u, 3u, 8u}) {
+            ThreadPool::setDefaultThreads(workers);
+            expectRunsEqual(ref, runTrace(trace, tile_cfg));
+        }
+
+        RunConfig both_cfg = serial_cfg;
+        both_cfg.tile_parallel = true;
+        both_cfg.threads = 3;
+        ThreadPool::setDefaultThreads(8);
+        expectRunsEqual(ref, runTrace(trace, both_cfg));
+        ThreadPool::setDefaultThreads(0);
+    }
 }
 
 TEST(Determinism, ParallelSsimMatchesSerial)

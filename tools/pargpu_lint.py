@@ -23,6 +23,9 @@ clang-tidy covers out of the box:
   intrinsics   no x86 SIMD intrinsics (_mm_* / _mm256_*) outside
                src/simd/ — the kernel layer owns all vector code, and
                everything above it must stay portable scalar C++
+  policy-doc   every FilterPolicy registered in the factory table
+               (src/texture/filter_policy.cc) must have its name
+               documented in docs/FILTERING.md
 
 One rule runs over examples/ and bench/ instead of src/:
 
@@ -55,7 +58,8 @@ import subprocess
 import sys
 
 RULES = ("rand", "raw-new", "float-eq", "include-cc", "cout", "header-self",
-         "file-doc", "metrics-doc", "internal-include", "intrinsics")
+         "file-doc", "metrics-doc", "internal-include", "intrinsics",
+         "policy-doc")
 
 FLOAT_LIT = r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)f?"
 
@@ -75,6 +79,8 @@ RE_STAT_NAME = re.compile(r'"(\.?[a-z0-9_]+(?:\.[a-z0-9_]+)+)"')
 RE_QUOTED_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 # x86 vector intrinsics: _mm_add_ps, _mm256_fmadd_ps, _mm512_...
 RE_INTRIN = re.compile(r"\b_mm\d*_[A-Za-z0-9_]+")
+# A FilterPolicy registry entry: {FilterPolicyId::Patu, "patu", ...}.
+RE_POLICY_ENTRY = re.compile(r'FilterPolicyId::\w+\s*,\s*"([a-z_]+)"')
 
 SOURCE_EXTS = (".cc", ".hh", ".h", ".cpp")
 
@@ -238,6 +244,42 @@ def check_file(root, rel, violations, metrics_doc):
                          "docs/METRICS.md"))
 
 
+def check_policy_docs(root, violations):
+    """policy-doc: every FilterPolicy in the registry table of
+    src/texture/filter_policy.cc must appear by name in
+    docs/FILTERING.md — adding a policy without documenting it fails
+    lint, keeping the comparison testbed docs exhaustive."""
+    rel = os.path.join("src", "texture", "filter_policy.cc")
+    path = os.path.join(root, rel)
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    doc_path = os.path.join(root, "docs", "FILTERING.md")
+    doc = None
+    if os.path.exists(doc_path):
+        with open(doc_path, encoding="utf-8") as f:
+            doc = f.read()
+    rel = rel.replace(os.sep, "/")
+    for m in RE_POLICY_ENTRY.finditer(text):
+        lineno = text.count("\n", 0, m.start()) + 1
+        raw_lines = text.splitlines()
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+        if "policy-doc" in inline_allows(raw) | inline_allows(prev):
+            continue
+        name = m.group(1)
+        if doc is None:
+            violations.append(
+                (rel, lineno, "policy-doc",
+                 f'policy "{name}" registered but docs/FILTERING.md '
+                 "does not exist"))
+        elif name not in doc:
+            violations.append(
+                (rel, lineno, "policy-doc",
+                 f'policy "{name}" not documented in docs/FILTERING.md'))
+
+
 def check_internal_include(root, rel, violations):
     """examples/ and bench/ build against the facade only: every quoted
     include must be a "pargpu/..." header (or bench's own bench_util.hh);
@@ -331,6 +373,7 @@ def main():
         check_file(root, rel, violations, metrics_doc)
     for rel in consumers:
         check_internal_include(root, rel, violations)
+    check_policy_docs(root, violations)
 
     if not args.no_spot_builds:
         headers = [s for s in sources if s.endswith((".hh", ".h"))]

@@ -9,9 +9,17 @@ moved in its bad direction by more than PCT percent. That mode is wired as
 a CTest gate (see tests/CMakeLists.txt) and is meant for CI: compare a
 candidate run against a stored baseline and fail the build on regressions.
 
+A second mode, --compare-policies DIR, reads every metrics JSON in DIR
+(e.g. a PARGPU_METRICS_DIR filled by bench/fig_policies), groups the runs
+by workload and `run.filter_policy`, and prints one quality-vs-fetches
+table per workload: MSSIM, texel fetches, filter ops (trilinear + stf),
+energy and cycles, each with its ratio against the workload's reference
+run (the exact-AF `*_ref` export when present, else the patu row).
+
 Usage:
   pargpu_report.py BASELINE.json CANDIDATE.json [--fail-on-regress PCT]
                    [--all-counters]
+  pargpu_report.py --compare-policies DIR
 
 Exit status: 0 ok, 1 regression beyond the threshold, 2 usage/schema
 errors.
@@ -19,6 +27,7 @@ errors.
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMA_NAME = "pargpu-metrics"
@@ -111,12 +120,75 @@ def compare(base, cand, rows):
         yield label, a, b, delta, verdict, regressed
 
 
+def policy_row(doc):
+    """Extract the compare-policies table fields from one document."""
+    agg = doc.get("aggregate", {})
+    counters = doc.get("registry", {}).get("counters", {})
+    return {
+        "policy": doc.get("run", {}).get("filter_policy", "patu"),
+        "scenario": doc.get("run", {}).get("scenario", "?"),
+        "mssim": agg.get("mssim"),
+        "texels": counters.get("texunit.texels", 0),
+        "filter_ops": (counters.get("texunit.trilinear_samples", 0)
+                       + counters.get("texunit.stf_samples", 0)),
+        "energy": agg.get("total_energy_nj", 0.0),
+        "cycles": agg.get("avg_cycles", 0.0),
+    }
+
+
+def compare_policies(directory):
+    """Group DIR's metrics docs by workload and print one
+    quality-vs-fetches table per workload. Returns an exit status."""
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as e:
+        sys.exit(f"pargpu_report: cannot list {directory}: {e}")
+    by_workload = {}
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        doc = load(path)
+        workload = doc.get("run", {}).get("workload", "?")
+        row = policy_row(doc)
+        row["reference"] = name.endswith("_ref.json")
+        by_workload.setdefault(workload, []).append(row)
+    if not by_workload:
+        sys.exit(f"pargpu_report: no metrics documents in {directory}")
+
+    for workload, rows in sorted(by_workload.items()):
+        # Ratios are against the exact-filtering reference export when
+        # one exists, else against the patu row.
+        ref = next((r for r in rows if r["reference"]),
+                   next((r for r in rows if r["policy"] == "patu"), rows[0]))
+
+        def ratio(row, key):
+            return row[key] / ref[key] if ref[key] else 0.0
+
+        print(f"\n{workload}")
+        print(f"{'policy':<22} {'MSSIM':>7} {'texels':>12} {'vs-ref':>7} "
+              f"{'filter-ops':>12} {'energy-nJ':>12} {'cycles':>12} "
+              f"{'speedup':>8}")
+        ordered = ([r for r in rows if r["reference"]]
+                   + sorted((r for r in rows if not r["reference"]),
+                            key=lambda r: r["policy"]))
+        for r in ordered:
+            label = "reference" if r["reference"] else r["policy"]
+            mssim = "-" if r["mssim"] is None else f"{r['mssim']:.3f}"
+            speedup = ref["cycles"] / r["cycles"] if r["cycles"] else 0.0
+            print(f"{label:<22} {mssim:>7} {r['texels']:>12} "
+                  f"{ratio(r, 'texels'):>6.1%} {r['filter_ops']:>12} "
+                  f"{r['energy']:>12.0f} {r['cycles']:>12.0f} "
+                  f"{speedup:>7.3f}x")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("baseline", help="baseline metrics JSON")
-    ap.add_argument("candidate", help="candidate metrics JSON")
+    ap.add_argument("baseline", nargs="?", help="baseline metrics JSON")
+    ap.add_argument("candidate", nargs="?", help="candidate metrics JSON")
     ap.add_argument("--fail-on-regress", type=float, metavar="PCT",
                     default=None,
                     help="exit 1 if any metric regresses by more than PCT "
@@ -124,7 +196,16 @@ def main():
     ap.add_argument("--all-counters", action="store_true",
                     help="also diff every registry counter present in "
                          "both documents")
+    ap.add_argument("--compare-policies", metavar="DIR", default=None,
+                    help="tabulate quality vs. fetches per filter policy "
+                         "from every metrics JSON in DIR")
     args = ap.parse_args()
+
+    if args.compare_policies is not None:
+        return compare_policies(args.compare_policies)
+    if args.baseline is None or args.candidate is None:
+        ap.error("BASELINE and CANDIDATE are required unless "
+                 "--compare-policies is given")
 
     base = load(args.baseline)
     cand = load(args.candidate)
