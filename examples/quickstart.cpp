@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "pargpu/config.hh"
+#include "pargpu/session.hh"
 
 using namespace pargpu;
 
@@ -26,16 +26,18 @@ main(int argc, char **argv)
     std::printf("pargpu quickstart: HL2-style scene at %dx%d\n\n",
                 width, height);
 
-    GameTrace trace = buildGameTrace(GameId::HL2, width, height, 1);
+    // The scene decodes once into the session; both runs share it.
+    Session session;
+    session.load("hl2", GameId::HL2, width, height, 1);
 
     RunConfig base_cfg;
     base_cfg.scenario = DesignScenario::Baseline;
-    RunResult base = runTrace(trace, base_cfg);
+    RunResult base = session.submit("hl2", base_cfg)->result();
 
     RunConfig patu_cfg;
     patu_cfg.scenario = DesignScenario::Patu;
     patu_cfg.threshold = 0.4f;
-    RunResult patu = runTrace(trace, patu_cfg);
+    RunResult patu = session.submit("hl2", patu_cfg)->result();
 
     double speedup = base.avg_cycles / patu.avg_cycles;
     double energy = patu.total_energy_nj / base.total_energy_nj;

@@ -29,6 +29,11 @@
 #       metrics exports diffed across policies — selecting a policy may
 #       change values but never the exported key set (only the
 #       policy-reporting fields may differ; docs/FILTERING.md)
+#   13. serve round-trip + amortization gate: pargpu_report.py boots the
+#       ASan and UBSan pargpu_serve binaries and drives a real sweep
+#       through the framed protocol (docs/SERVE.md), then perf_serve's
+#       BENCH_serve.json is gated — a persistent session must beat a
+#       fresh boot per sweep by >= 3x, bit-identically
 #
 # Each stage is timed; a PASS/SKIP/FAIL summary table is printed at the
 # end (or at the first failure). Skipped stages announce themselves
@@ -126,7 +131,7 @@ stage_tsan() {
         || { cat build-tsan.configure.log >&2; return 1; }
     cmake --build build-tsan -j "$JOBS"
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test"
+        -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test|session_test|serve_test"
     # Second pass with tile parallelism forced on: every renderFrame() in
     # the subset fans its fragment phase out across clusters, so TSAN sees
     # the per-cluster sharding and the ordered commit pass.
@@ -341,20 +346,48 @@ print(f"policy exports schema-identical across {len(docs)} policies "
 EOF
 }
 
+stage_serve() {
+    # The round trip under the sanitizer matrix: the report client boots
+    # the actual pargpu_serve binaries from the ASan and UBSan builds
+    # (stages 2 and 3) and drives a real sweep through the framed
+    # protocol end to end.
+    local build
+    for build in build-asan build-ubsan; do
+        cmake --build "$build" -j "$JOBS" --target pargpu_serve
+        python3 tools/pargpu_report.py \
+            --serve "$ROOT/$build/src/harness/pargpu_serve" \
+            --serve-sweep wolf:96x72x2:baseline,patu \
+            --serve-out "$ROOT/$build/serve-out"
+        # The streamed documents are standard metrics JSONs: a
+        # self-comparison through the regular diff must gate cleanly.
+        python3 tools/pargpu_report.py \
+            "$ROOT/$build/serve-out/serve_wolf_patu.json" \
+            "$ROOT/$build/serve-out/serve_wolf_patu.json" \
+            --fail-on-regress 0.01
+    done
+    # Amortization gate on the build-perf (stage 8) binaries: the
+    # persistent session must beat a fresh boot per sweep by >= 3x on
+    # the repeated 16-config sweep, with byte-identical responses.
+    cmake --build build-perf -j "$JOBS" --target perf_serve
+    ( cd build-perf && ./bench/perf_serve )
+    python3 tools/pargpu_report.py --serve-bench build-perf/BENCH_serve.json
+}
+
 # --- matrix ---------------------------------------------------------------
 
-run_stage "1/12 Release + contracts + -Werror" stage_release
-run_stage "2/12 AddressSanitizer" stage_asan
-run_stage "3/12 UndefinedBehaviorSanitizer" stage_ubsan
-run_stage "4/12 ThreadSanitizer (threading subset)" stage_tsan
-run_stage "5/12 tracing compiled out (-DPARGPU_TRACING=OFF)" stage_notrace
-run_stage "6/12 pargpu-lint" stage_lint
-run_stage "7/12 clang-tidy" stage_tidy
-run_stage "8/12 perf gate (texel + tile vs baselines)" stage_perf
-run_stage "9/12 SIMD bit-identity (-DPARGPU_SIMD=OFF vs ON)" stage_simd_identity
-run_stage "10/12 pargpu-analyze + fixture selftest" stage_analyze
-run_stage "11/12 thread-safety analysis (-DPARGPU_TSA=ON)" stage_tsa
-run_stage "12/12 filter-policy matrix (determinism + schema)" stage_policy_matrix
+run_stage "1/13 Release + contracts + -Werror" stage_release
+run_stage "2/13 AddressSanitizer" stage_asan
+run_stage "3/13 UndefinedBehaviorSanitizer" stage_ubsan
+run_stage "4/13 ThreadSanitizer (threading subset)" stage_tsan
+run_stage "5/13 tracing compiled out (-DPARGPU_TRACING=OFF)" stage_notrace
+run_stage "6/13 pargpu-lint" stage_lint
+run_stage "7/13 clang-tidy" stage_tidy
+run_stage "8/13 perf gate (texel + tile vs baselines)" stage_perf
+run_stage "9/13 SIMD bit-identity (-DPARGPU_SIMD=OFF vs ON)" stage_simd_identity
+run_stage "10/13 pargpu-analyze + fixture selftest" stage_analyze
+run_stage "11/13 thread-safety analysis (-DPARGPU_TSA=ON)" stage_tsa
+run_stage "12/13 filter-policy matrix (determinism + schema)" stage_policy_matrix
+run_stage "13/13 serve round-trip (sanitizers) + amortization gate" stage_serve
 
 summary
 echo

@@ -45,6 +45,7 @@
 #include "common/tracing.hh"
 #include "harness/metrics.hh"
 #include "harness/runner.hh"
+#include "harness/serve.hh"
 
 using namespace pargpu;
 
@@ -69,14 +70,9 @@ struct Options
 GameId
 parseGame(const std::string &v)
 {
-    if (v == "hl2") return GameId::HL2;
-    if (v == "doom3") return GameId::Doom3;
-    if (v == "grid") return GameId::Grid;
-    if (v == "nfs") return GameId::Nfs;
-    if (v == "stal") return GameId::Stalker;
-    if (v == "ut3") return GameId::Ut3;
-    if (v == "wolf") return GameId::Wolf;
-    if (v == "rbench") return GameId::RBench;
+    GameId id;
+    if (parseGameName(v, id))
+        return id;
     std::fprintf(stderr, "unknown game '%s'\n", v.c_str());
     std::exit(2);
 }
@@ -84,11 +80,9 @@ parseGame(const std::string &v)
 DesignScenario
 parseScenario(const std::string &v)
 {
-    if (v == "baseline") return DesignScenario::Baseline;
-    if (v == "noaf") return DesignScenario::NoAF;
-    if (v == "n") return DesignScenario::AfSsimN;
-    if (v == "ntxds") return DesignScenario::AfSsimNTxds;
-    if (v == "patu") return DesignScenario::Patu;
+    DesignScenario s;
+    if (parseScenarioName(v, s))
+        return s;
     std::fprintf(stderr, "unknown scenario '%s'\n", v.c_str());
     std::exit(2);
 }
@@ -277,12 +271,18 @@ main(int argc, char **argv)
     // The quality axis needs rendered images on both sides.
     o.run.keep_images = o.have_reference;
 
+    // Constructing the Session takes the one validated pass over every
+    // PARGPU_* override (envOverrides()), after parseArgs() so a
+    // --run-threads override is already in effect; both runs below then
+    // execute against the same pinned environment.
+    Session session;
+
     GameTrace trace = buildGameTrace(o.game, o.width, o.height, o.frames);
 
     if (!o.trace_out.empty())
         trace::Tracing::enable();
 
-    RunResult run = runTrace(trace, o.run);
+    RunResult run = session.run(trace, o.run);
 
     double mssim = -1.0;
     if (o.have_reference) {
@@ -293,7 +293,7 @@ main(int argc, char **argv)
         // (comparing an STF run against its own noise would report a
         // meaningless MSSIM of 1).
         ref_cfg.filter_policy = FilterPolicyId::Patu;
-        RunResult ref = runTrace(trace, ref_cfg);
+        RunResult ref = session.run(trace, ref_cfg);
         mssim = run.mssimAgainst(ref.images);
     }
 

@@ -1,38 +1,18 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
-#include <cstdlib>
-#include <iostream>
 
 #include "common/contract.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "common/tracing.hh"
+#include "harness/session.hh"
 
 namespace pargpu
 {
 
 namespace
 {
-
-/**
- * ContractStats harness hook: when PARGPU_CONTRACT_REPORT is set in the
- * environment, the first runTrace() registers an atexit dump of every
- * contract site's evaluation count — the cheap way to confirm a run
- * actually exercised the pipeline's invariants (scripts/check.sh greps
- * for it).
- */
-void
-armContractReport()
-{
-    static const bool armed = [] {
-        if (std::getenv("PARGPU_CONTRACT_REPORT") == nullptr)
-            return false;
-        std::atexit([] { contract::statsReport(std::cerr); });
-        return true;
-    }();
-    (void)armed;
-}
 
 bool
 isPow2(unsigned v)
@@ -127,10 +107,16 @@ makeGpuConfig(const RunConfig &config)
     return g;
 }
 
-RunResult
-runTrace(const GameTrace &trace, const RunConfig &config)
+namespace detail
 {
-    armContractReport();
+
+RunResult
+renderTrace(const GameTrace &trace, const RunConfig &config,
+            RunProgress *progress)
+{
+    // Pin the validated environment snapshot before any frame renders
+    // (also arms the PARGPU_CONTRACT_REPORT atexit dump on first use).
+    envOverrides();
     const std::vector<ConfigError> errors = config.validate();
     if (!errors.empty())
         fatal(std::string("invalid RunConfig: ") +
@@ -155,6 +141,8 @@ runTrace(const GameTrace &trace, const RunConfig &config)
             PARGPU_TRACE_SCOPE_F("harness", "renderFrame", f);
             outs[f] = sim.renderFrame(trace.scene, trace.cameras[f],
                                       trace.width, trace.height);
+            if (progress != nullptr)
+                progress->onFrame(f, outs[f].stats);
         }
     } else {
         ThreadPool::run(parts, 1, [&](std::size_t p) {
@@ -165,6 +153,8 @@ runTrace(const GameTrace &trace, const RunConfig &config)
                 PARGPU_TRACE_SCOPE_F("harness", "renderFrame", f);
                 outs[f] = sim.renderFrame(trace.scene, trace.cameras[f],
                                           trace.width, trace.height);
+                if (progress != nullptr)
+                    progress->onFrame(f, outs[f].stats);
             }
         }, static_cast<unsigned>(parts));
     }
@@ -200,8 +190,8 @@ runTrace(const GameTrace &trace, const RunConfig &config)
 }
 
 std::vector<RunResult>
-runSweep(const GameTrace &trace, const std::vector<RunConfig> &configs,
-         int threads)
+renderSweep(const GameTrace &trace, const std::vector<RunConfig> &configs,
+            int threads)
 {
     // Reject bad conditions before fanning out — a fatal() on a worker
     // thread would otherwise tear down the pool mid-sweep.
@@ -212,13 +202,31 @@ runSweep(const GameTrace &trace, const std::vector<RunConfig> &configs,
                   configErrorMessage(errors.front()));
     }
     std::vector<RunResult> results(configs.size());
-    // Conditions fan out across workers; runTrace() detects it is on a
-    // worker and keeps its frames serial, so there is exactly one level
-    // of parallelism and results stay independent of the thread count.
+    // Conditions fan out across workers; renderTrace() detects it is on
+    // a worker and keeps its frames serial, so there is exactly one
+    // level of parallelism and results stay independent of the thread
+    // count.
     ThreadPool::run(configs.size(), 1, [&](std::size_t i) {
-        results[i] = runTrace(trace, configs[i]);
+        results[i] = renderTrace(trace, configs[i]);
     }, threads > 0 ? static_cast<unsigned>(threads) : 0);
     return results;
+}
+
+} // namespace detail
+
+RunResult
+runTrace(const GameTrace &trace, const RunConfig &config)
+{
+    detail::warnLegacyEntryPoint("runTrace()", "Session::run()/submit()");
+    return Session::global().run(trace, config);
+}
+
+std::vector<RunResult>
+runSweep(const GameTrace &trace, const std::vector<RunConfig> &configs,
+         int threads)
+{
+    detail::warnLegacyEntryPoint("runSweep()", "Session::sweep()");
+    return Session::global().sweep(trace, configs, threads);
 }
 
 std::vector<Cycle>

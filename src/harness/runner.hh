@@ -100,7 +100,14 @@ struct RunResult
 /** Build the GpuConfig for a run condition. */
 GpuConfig makeGpuConfig(const RunConfig &config);
 
-/** Render every frame of @p trace under @p config. */
+/**
+ * Render every frame of @p trace under @p config.
+ *
+ * Deprecated for external callers: a thin wrapper over the process-global
+ * Session (harness/session.hh) that prints a one-shot per-process note on
+ * first direct use. The result is bit-identical to
+ * Session::run(trace, config).
+ */
 RunResult runTrace(const GameTrace &trace, const RunConfig &config);
 
 /**
@@ -108,6 +115,9 @@ RunResult runTrace(const GameTrace &trace, const RunConfig &config);
  * parallel (frames within each condition stay serial on a worker).
  * results[i] corresponds to configs[i] and is bit-identical to
  * runTrace(trace, configs[i]).
+ *
+ * Deprecated for external callers like runTrace(): a thin wrapper over
+ * Session::sweep() on the process-global Session.
  *
  * @param threads  Total concurrency (0 = PARGPU_THREADS/default).
  */

@@ -24,24 +24,6 @@ namespace
 const Vec3 kLightDir = Vec3{0.4f, 0.8f, 0.45f}.normalized();
 
 /**
- * PARGPU_TILE_PARALLEL=1 forces intra-frame tile parallelism on for
- * every simulator in the process, regardless of
- * GpuConfig::tile_parallel. This is the hook scripts/check.sh's TSAN
- * stage uses to run the whole threading-focused test subset with the
- * sharded fragment phase enabled, without touching each test's
- * configuration. Results are bit-identical either way.
- */
-bool
-tileParallelForced()
-{
-    static const bool forced = [] {
-        const char *v = std::getenv("PARGPU_TILE_PARALLEL");
-        return v != nullptr && v[0] == '1';
-    }();
-    return forced;
-}
-
-/**
  * Pass-A record of one surviving quad under tile-parallel execution.
  * pre_cycles carries the rasterizer cost accumulated since the previous
  * surviving quad (killed quads included), so the commit pass can
@@ -98,6 +80,16 @@ faceShade(const Vec3 &p0, const Vec3 &p1, const Vec3 &p2)
 }
 
 } // namespace
+
+bool
+tileParallelForced()
+{
+    static const bool forced = [] {
+        const char *v = std::getenv("PARGPU_TILE_PARALLEL");
+        return v != nullptr && v[0] == '1';
+    }();
+    return forced;
+}
 
 GpuSimulator::GpuSimulator(const GpuConfig &config)
     : config_(config)

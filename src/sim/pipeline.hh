@@ -128,6 +128,17 @@ struct FrameOutput
 };
 
 /**
+ * True when PARGPU_TILE_PARALLEL=1 forces intra-frame tile parallelism
+ * on for every simulator in the process, regardless of
+ * GpuConfig::tile_parallel. This is the hook scripts/check.sh's TSAN
+ * stage uses to run the whole threading-focused test subset with the
+ * sharded fragment phase enabled, without touching each test's
+ * configuration. Results are bit-identical either way. Cached on first
+ * call; envOverrides() (harness/session.hh) snapshots it up front.
+ */
+bool tileParallelForced();
+
+/**
  * The simulator. Construct once per configuration; renderFrame() may be
  * called repeatedly (caches and DRAM state are reset per frame so every
  * frame is measured independently).

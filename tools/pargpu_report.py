@@ -16,22 +16,40 @@ table per workload: MSSIM, texel fetches, filter ops (trilinear + stf),
 energy and cycles, each with its ratio against the workload's reference
 run (the exact-AF `*_ref` export when present, else the patu row).
 
+A third mode is the pargpu_serve client: --serve BIN boots the server,
+--serve-sweep GAME:WxHxF:SCEN[,SCEN...] loads the workload and submits
+one sweep over the listed scenarios through the length-prefixed JSON
+protocol (docs/SERVE.md), printing a progress line per streamed job
+event. Each returned metrics document can be written with --serve-out
+DIR, and when the sweep has two or more configs the first run is diffed
+against each of the others with the regular table.
+
+A fourth mode, --serve-bench FILE, gates the BENCH_serve.json that
+bench/perf_serve writes: the amortization speedup of a persistent
+session over a fresh boot per sweep must reach --min-speedup (default
+3.0) and the response streams must have been bit-identical.
+
 Usage:
   pargpu_report.py BASELINE.json CANDIDATE.json [--fail-on-regress PCT]
                    [--all-counters]
   pargpu_report.py --compare-policies DIR
+  pargpu_report.py --serve BIN --serve-sweep SPEC [--serve-out DIR]
+  pargpu_report.py --serve-bench FILE [--min-speedup X]
 
-Exit status: 0 ok, 1 regression beyond the threshold, 2 usage/schema
+Exit status: 0 ok, 1 regression/gate failure, 2 usage/schema/protocol
 errors.
 """
 
 import argparse
 import json
 import os
+import subprocess
 import sys
 
 SCHEMA_NAME = "pargpu-metrics"
 SUPPORTED_VERSIONS = (1,)
+SERVE_SCHEMA_NAME = "pargpu-serve"
+SERVE_BENCH_SCHEMA_NAME = "pargpu-serve-bench"
 
 # (label, path, getter kind, better) — better is "lower" or "higher".
 # Paths into the document: "aggregate.x" or "registry.counters.x" /
@@ -183,6 +201,166 @@ def compare_policies(directory):
     return 0
 
 
+def serve_write_frame(pipe, payload):
+    """Write one length-prefixed frame (docs/SERVE.md framing)."""
+    data = payload.encode("utf-8")
+    pipe.write(str(len(data)).encode("ascii") + b"\n" + data)
+    pipe.flush()
+
+
+def serve_read_frame(pipe):
+    """Read one framed JSON document; None at EOF."""
+    header = b""
+    while True:
+        c = pipe.read(1)
+        if not c:
+            return None
+        if c == b"\n":
+            break
+        header += c
+    if not header.isdigit():
+        sys.exit(f"pargpu_report: malformed serve frame header {header!r}")
+    length = int(header)
+    payload = pipe.read(length)
+    if len(payload) != length:
+        sys.exit("pargpu_report: truncated serve frame")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        sys.exit(f"pargpu_report: bad serve frame payload: {e}")
+
+
+def serve_request(proc, request):
+    """One request/response exchange; exits on an error status."""
+    serve_write_frame(proc.stdin, json.dumps(request))
+    response = serve_read_frame(proc.stdout)
+    if response is None:
+        sys.exit("pargpu_report: server closed the stream mid-request")
+    if response.get("status") != "ok":
+        sys.exit(f"pargpu_report: {request.get('op')} failed: "
+                 f"{response.get('status')}: {response.get('message')}")
+    return response
+
+
+def parse_sweep_spec(spec):
+    """GAME:WxHxF:SCEN[,SCEN...] -> (game, w, h, frames, scenarios)."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        sys.exit("pargpu_report: --serve-sweep wants "
+                 "GAME:WxHxF:SCEN[,SCEN...]")
+    game, dims, scenarios = parts
+    dim_parts = dims.split("x")
+    if len(dim_parts) != 3 or not all(p.isdigit() for p in dim_parts):
+        sys.exit(f"pargpu_report: bad dimensions '{dims}' (want WxHxF)")
+    scen_list = [s for s in scenarios.split(",") if s]
+    if not scen_list:
+        sys.exit("pargpu_report: --serve-sweep needs at least one scenario")
+    w, h, frames = (int(p) for p in dim_parts)
+    return game, w, h, frames, scen_list
+
+
+def serve_client(binary, spec, out_dir):
+    """Boot BIN, load the workload, submit the sweep, diff the runs."""
+    game, w, h, frames, scenarios = parse_sweep_spec(spec)
+    try:
+        proc = subprocess.Popen([binary], stdin=subprocess.PIPE,
+                                stdout=subprocess.PIPE)
+    except OSError as e:
+        sys.exit(f"pargpu_report: cannot start {binary}: {e}")
+    try:
+        pong = serve_request(proc, {"op": "ping", "id": "report"})
+        if pong.get("schema") != SERVE_SCHEMA_NAME:
+            sys.exit(f"pargpu_report: {binary} speaks "
+                     f"'{pong.get('schema')}', not {SERVE_SCHEMA_NAME}")
+        print(f"connected: {binary} ({SERVE_SCHEMA_NAME} v"
+              f"{pong.get('schema_version')})")
+
+        serve_request(proc, {"op": "load", "key": game, "game": game,
+                             "width": w, "height": h, "frames": frames})
+        print(f"loaded: {game} {w}x{h}, {frames} frame(s)")
+
+        configs = [{"scenario": s, "keep_images": False}
+                   for s in scenarios]
+        serve_write_frame(proc.stdin, json.dumps(
+            {"op": "sweep", "trace": game, "configs": configs}))
+        results = None
+        while results is None:
+            event = serve_read_frame(proc.stdout)
+            if event is None:
+                sys.exit("pargpu_report: server closed mid-sweep")
+            if event.get("status") != "ok":
+                sys.exit(f"pargpu_report: sweep failed: "
+                         f"{event.get('status')}: {event.get('message')}")
+            if event.get("event") == "job_done":
+                i = event.get("index", 0)
+                snap = event.get("snapshot", {})
+                agg = snap.get("aggregate", {})
+                print(f"  [{i + 1}/{len(configs)}] {scenarios[i]}: "
+                      f"{snap.get('frames_completed')} frame(s), "
+                      f"avg cycles {fmt(agg.get('avg_cycles'))}")
+            elif event.get("event") == "done":
+                results = event.get("results", [])
+        serve_request(proc, {"op": "shutdown"})
+    finally:
+        proc.stdin.close()
+        proc.wait()
+
+    if len(results) != len(scenarios):
+        sys.exit(f"pargpu_report: expected {len(scenarios)} results, "
+                 f"got {len(results)}")
+
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        for scenario, doc in zip(scenarios, results):
+            path = os.path.join(out_dir,
+                                f"serve_{game}_{scenario}.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f, indent=2)
+            print(f"wrote {path}")
+
+    # Diff the first run against each of the others (informational —
+    # different scenarios are supposed to differ).
+    base = results[0]
+    for scenario, cand in zip(scenarios[1:], results[1:]):
+        print(f"\n== {scenarios[0]} vs {scenario} ==")
+        rows = list(HEADLINE)
+        width = max(len(r[0]) for r in rows)
+        print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  "
+              f"{'delta':>9}  verdict")
+        for label, a, b, delta, verdict, _ in compare(base, cand, rows):
+            d = "-" if delta is None else f"{delta:+8.2f}%"
+            print(f"{label:<{width}}  {fmt(a):>14}  {fmt(b):>14}  "
+                  f"{d:>9}  {verdict}")
+    return 0
+
+
+def gate_serve_bench(path, min_speedup):
+    """Gate bench/perf_serve's BENCH_serve.json export."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"pargpu_report: cannot load {path}: {e}")
+    if doc.get("schema") != SERVE_BENCH_SCHEMA_NAME:
+        sys.exit(f"pargpu_report: {path} is not a "
+                 f"{SERVE_BENCH_SCHEMA_NAME} document")
+    speedup = doc.get("amortization_speedup", 0.0)
+    identical = doc.get("bit_identical", False)
+    print(f"serve bench: {doc.get('sweeps')} sweeps x "
+          f"{doc.get('configs_per_sweep')} configs, amortization "
+          f"{speedup:.2f}x (need >= {min_speedup}x), bit-identical: "
+          f"{identical}")
+    if not identical:
+        print("FAIL: amortized and fresh response streams differ")
+        return 1
+    if speedup < min_speedup:
+        print(f"FAIL: amortization speedup {speedup:.2f}x below "
+              f"{min_speedup}x")
+        return 1
+    print("serve bench gate passed")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -199,8 +377,27 @@ def main():
     ap.add_argument("--compare-policies", metavar="DIR", default=None,
                     help="tabulate quality vs. fetches per filter policy "
                          "from every metrics JSON in DIR")
+    ap.add_argument("--serve", metavar="BIN", default=None,
+                    help="pargpu_serve binary to boot as a sweep client")
+    ap.add_argument("--serve-sweep", metavar="SPEC", default=None,
+                    help="sweep to submit: GAME:WxHxF:SCEN[,SCEN...]")
+    ap.add_argument("--serve-out", metavar="DIR", default=None,
+                    help="write each sweep result's metrics JSON to DIR")
+    ap.add_argument("--serve-bench", metavar="FILE", default=None,
+                    help="gate a BENCH_serve.json written by perf_serve")
+    ap.add_argument("--min-speedup", type=float, metavar="X", default=3.0,
+                    help="required serve amortization speedup "
+                         "(default 3.0)")
     args = ap.parse_args()
 
+    if args.serve_bench is not None:
+        return gate_serve_bench(args.serve_bench, args.min_speedup)
+    if args.serve is not None:
+        if args.serve_sweep is None:
+            ap.error("--serve requires --serve-sweep")
+        return serve_client(args.serve, args.serve_sweep, args.serve_out)
+    if args.serve_sweep is not None or args.serve_out is not None:
+        ap.error("--serve-sweep/--serve-out require --serve")
     if args.compare_policies is not None:
         return compare_policies(args.compare_policies)
     if args.baseline is None or args.candidate is None:
