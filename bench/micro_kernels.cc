@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "pargpu/analysis.hh"
 #include "pargpu/random.hh"
 #include "pargpu/mem.hh"
@@ -168,6 +172,150 @@ BM_SsimMap(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * dim * dim);
 }
 BENCHMARK(BM_SsimMap)->Arg(64)->Arg(256);
+
+/**
+ * Tier head-to-head for the 2x2 edge-function kernel: one full
+ * triangle's worth of quads per iteration, the per-quad work of the
+ * rasterizer inner loop.
+ */
+void
+BM_EdgeQuad(benchmark::State &state)
+{
+    const auto tier = static_cast<simd::SimdTier>(state.range(0));
+    if (static_cast<int>(tier) > static_cast<int>(simd::detectTier())) {
+        for (auto _ : state) {
+        }
+        state.SetLabel(std::string(simd::tierName(tier)) +
+                       " unavailable");
+        return;
+    }
+    const simd::SimdTier saved = simd::activeTier();
+    simd::setActiveTier(tier);
+    const simd::KernelOps &ops = simd::activeKernels();
+
+    constexpr int kW = 64, kH = 64;
+    simd::EdgeTri tri{};
+    tri.ax = 2.0f;
+    tri.ay = 3.0f;
+    tri.bx = 61.0f;
+    tri.by = 9.0f;
+    tri.cx = 24.0f;
+    tri.cy = 60.0f;
+    float area2 = (tri.bx - tri.ax) * (tri.cy - tri.ay) -
+        (tri.by - tri.ay) * (tri.cx - tri.ax);
+    tri.inv_area = 1.0f / area2;
+    tri.z0 = 0.25f;
+    tri.z1 = 0.5f;
+    tri.z2 = 0.75f;
+    tri.iw0 = 1.0f;
+    tri.iw1 = 0.5f;
+    tri.iw2 = 0.25f;
+    tri.uw0 = 0.0f;
+    tri.uw1 = 0.5f;
+    tri.uw2 = 0.0f;
+    tri.vw0 = 0.0f;
+    tri.vw1 = 0.0f;
+    tri.vw2 = 0.25f;
+
+    std::uint64_t quads = 0;
+    for (auto _ : state) {
+        unsigned covered = 0;
+        for (int qy = 0; qy < kH; qy += 2)
+            for (int qx = 0; qx < kW; qx += 2) {
+                simd::EdgeQuadOut out;
+                ops.edge_quad(tri, qx, qy, 0, 0, kW - 1, kH - 1, out);
+                covered += out.coverage;
+            }
+        benchmark::DoNotOptimize(covered);
+        quads += (kW / 2) * (kH / 2);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(quads));
+    state.SetLabel(ops.name);
+    simd::setActiveTier(saved);
+}
+BENCHMARK(BM_EdgeQuad)->Arg(0)->Arg(1)->Arg(2);
+
+/**
+ * Tier head-to-head for the framebuffer fill kernels: clear one
+ * 256x256 color plane and its depth plane per iteration.
+ */
+void
+BM_FbClear(benchmark::State &state)
+{
+    const auto tier = static_cast<simd::SimdTier>(state.range(0));
+    if (static_cast<int>(tier) > static_cast<int>(simd::detectTier())) {
+        for (auto _ : state) {
+        }
+        state.SetLabel(std::string(simd::tierName(tier)) +
+                       " unavailable");
+        return;
+    }
+    const simd::SimdTier saved = simd::activeTier();
+    simd::setActiveTier(tier);
+    const simd::KernelOps &ops = simd::activeKernels();
+
+    constexpr int kPixels = 256 * 256;
+    static std::vector<float> color(static_cast<std::size_t>(kPixels) *
+                                    4);
+    static std::vector<float> depth(kPixels);
+    const float rgba[4] = {0.1f, 0.2f, 0.3f, 1.0f};
+
+    for (auto _ : state) {
+        ops.fill_color(color.data(), kPixels, rgba);
+        ops.fill_depth(depth.data(), kPixels, 1.0f);
+        benchmark::DoNotOptimize(color.data());
+        benchmark::DoNotOptimize(depth.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * kPixels);
+    state.SetLabel(ops.name);
+    simd::setActiveTier(saved);
+}
+BENCHMARK(BM_FbClear)->Arg(0)->Arg(1)->Arg(2);
+
+/**
+ * Tier head-to-head for the SSIM separable-blur row kernel: one
+ * 256-wide horizontal pass (the shape the quality gate runs per image
+ * row, twice per SSIM map).
+ */
+void
+BM_SsimRow(benchmark::State &state)
+{
+    const auto tier = static_cast<simd::SimdTier>(state.range(0));
+    if (static_cast<int>(tier) > static_cast<int>(simd::detectTier())) {
+        for (auto _ : state) {
+        }
+        state.SetLabel(std::string(simd::tierName(tier)) +
+                       " unavailable");
+        return;
+    }
+    const simd::SimdTier saved = simd::activeTier();
+    simd::setActiveTier(tier);
+    const simd::KernelOps &ops = simd::activeKernels();
+
+    constexpr int kWidth = 256, kTaps = 11;
+    static std::vector<float> src(kWidth + kTaps);
+    static std::vector<float> out(kWidth);
+    SplitMix64 rng(29);
+    for (float &v : src)
+        v = rng.nextFloat();
+    float k[kTaps];
+    float wsum = 0.0f;
+    for (int t = 0; t < kTaps; ++t) {
+        k[t] = 1.0f + 0.1f * t;
+        wsum += k[t];
+    }
+
+    for (auto _ : state) {
+        ops.ssim_row(src.data(), out.data(), kWidth, 1, k, kTaps, wsum);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * kWidth);
+    state.SetLabel(ops.name);
+    simd::setActiveTier(saved);
+}
+BENCHMARK(BM_SsimRow)->Arg(0)->Arg(1)->Arg(2);
 
 } // namespace
 

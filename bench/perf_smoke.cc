@@ -165,6 +165,11 @@ main()
     // acceptance bar is measured against this number.
     constexpr double kTexelPr4SecPerFrame = 0.374622;
 
+    // And after the first SoA kernel round (PR 6) but before the fused
+    // gather/raster/framebuffer/arena work — the reference this PR's
+    // hot-path push is measured against.
+    constexpr double kTexelPr6SecPerFrame = 0.286801;
+
     GameTrace texel_trace =
         buildGameTrace(GameId::HL2, 640, 512, frames);
     RunConfig texel_cfg;
@@ -182,6 +187,7 @@ main()
     const double sec_per_frame = x_sec / frames;
     const double speedup_vs_seed = kTexelSeedSecPerFrame / sec_per_frame;
     const double speedup_vs_pr4 = kTexelPr4SecPerFrame / sec_per_frame;
+    const double speedup_vs_pr6 = kTexelPr6SecPerFrame / sec_per_frame;
 
     const double quads = sumOver(texel.frames, &FrameStats::quads);
     const double lines = sumOver(texel.frames, &FrameStats::tex_lines);
@@ -198,6 +204,8 @@ main()
                 speedup_vs_seed, kTexelSeedSecPerFrame, sec_per_frame);
     std::printf("  vs PR4   : %.2fx   (PR4 %.3f s/frame, dispatch %s)\n",
                 speedup_vs_pr4, kTexelPr4SecPerFrame, dispatch);
+    std::printf("  vs PR6   : %.2fx   (PR6 %.3f s/frame)\n",
+                speedup_vs_pr6, kTexelPr6SecPerFrame);
     std::printf("  hot path : %.3f memo hit rate, %.2f lines/quad\n",
                 memo_hit_rate, lines_per_quad);
 
@@ -226,13 +234,16 @@ main()
                  "  \"speedup_vs_seed\": %.6f,\n"
                  "  \"pr4_seconds_per_frame\": %.6f,\n"
                  "  \"speedup_vs_pr4\": %.6f,\n"
+                 "  \"pr6_seconds_per_frame\": %.6f,\n"
+                 "  \"speedup_vs_pr6\": %.6f,\n"
                  "  \"memo_hit_rate\": %.6f,\n"
                  "  \"lines_per_quad\": %.6f\n"
                  "}\n",
                  frames, hw, cpu_sse ? "true" : "false",
                  cpu_avx2 ? "true" : "false", dispatch, x_sec, x_fps,
                  sec_per_frame, kTexelSeedSecPerFrame, speedup_vs_seed,
-                 kTexelPr4SecPerFrame, speedup_vs_pr4, memo_hit_rate,
+                 kTexelPr4SecPerFrame, speedup_vs_pr4,
+                 kTexelPr6SecPerFrame, speedup_vs_pr6, memo_hit_rate,
                  lines_per_quad);
     std::fclose(f);
     std::printf("wrote BENCH_texel.json\n");

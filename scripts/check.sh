@@ -6,9 +6,11 @@
 #    1. Release + contracts (-DPARGPU_CHECKS=ON) + -Werror, full ctest
 #    2. AddressSanitizer build, full ctest
 #    3. UndefinedBehaviorSanitizer build (no-recover), full ctest
-#    4. ThreadSanitizer build, threading-focused ctest subset, run twice:
-#       as-is and again with PARGPU_TILE_PARALLEL=1 so the intra-frame
-#       tile-parallel fragment phase is exercised under TSAN
+#    4. ThreadSanitizer build, threading-focused ctest subset, run three
+#       times: as-is, with PARGPU_TILE_PARALLEL=1 so the intra-frame
+#       tile-parallel fragment phase is exercised under TSAN, and with
+#       tile parallelism + PARGPU_ARENA=0 so the heap-scratch fallback
+#       is raced too
 #    5. -DPARGPU_TRACING=OFF build (macros compiled out), tracing subset
 #    6. pargpu-lint standalone (includes header self-containment builds)
 #    7. clang-tidy over src/ (skipped with a note when not installed)
@@ -18,7 +20,10 @@
 #    9. SIMD bit-identity: -DPARGPU_SIMD=OFF build vs the ON build —
 #       determinism subset + simd_kernel_test under both, then the
 #       harness metrics exports diffed field-by-field (only the
-#       dispatch-reporting fields may differ)
+#       dispatch-reporting fields may differ); then the ON build re-run
+#       with each runnable tier forced via PARGPU_SIMD and with
+#       PARGPU_ARENA=0, diffed the same way (forced tiers may change
+#       only the dispatch fields, arena-off only the arena fields)
 #   10. pargpu-analyze (concurrency & determinism AST rules) plus the
 #       fixture selftest that proves every rule fires
 #   11. Clang Thread Safety Analysis build (-DPARGPU_TSA=ON with
@@ -131,11 +136,17 @@ stage_tsan() {
         || { cat build-tsan.configure.log >&2; return 1; }
     cmake --build build-tsan -j "$JOBS"
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test|session_test|serve_test"
+        -R "threadpool_test|determinism_test|pipeline_test|integration_test|contract_test|session_test|serve_test|arena_test"
     # Second pass with tile parallelism forced on: every renderFrame() in
     # the subset fans its fragment phase out across clusters, so TSAN sees
-    # the per-cluster sharding and the ordered commit pass.
+    # the per-cluster sharding, the arena-backed framebuffer planes the
+    # workers share, and the ordered commit pass.
     PARGPU_TILE_PARALLEL=1 ctest --test-dir build-tsan \
+        --output-on-failure -j "$JOBS" \
+        -R "determinism_test|pipeline_test|integration_test|arena_test"
+    # Third pass: tile parallelism with the heap-scratch fallback, so the
+    # PARGPU_ARENA=0 vectors see the same sharded access pattern.
+    PARGPU_TILE_PARALLEL=1 PARGPU_ARENA=0 ctest --test-dir build-tsan \
         --output-on-failure -j "$JOBS" \
         -R "determinism_test|pipeline_test|integration_test"
 }
@@ -214,15 +225,19 @@ stage_simd_identity() {
             --run-width 160 --run-height 120 --run-frames 2 --quiet \
             --metrics-json "$simd_diff/$build.json"
     done
-    python3 - "$simd_diff/build-simd-off.json" "$simd_diff/build-perf.json" <<'EOF'
-import json, sys
+    # Shared field-by-field diff: --allow names exact keys, --allow-sub
+    # whitelists every key containing a substring (for indexed per-frame
+    # fields like frames[0]/arena_frame_bytes).
+    cat >"$simd_diff/diff.py" <<'EOF'
+import argparse, json, sys
 
-# The only fields the dispatch tier may change.
-ALLOWED = {
-    "run/simd_dispatch",
-    "registry/scalars/simd.dispatch",
-    "registry/scalars/texunit.simd_width",
-}
+p = argparse.ArgumentParser()
+p.add_argument("a")
+p.add_argument("b")
+p.add_argument("--label", default="exports")
+p.add_argument("--allow", action="append", default=[])
+p.add_argument("--allow-sub", action="append", default=[])
+args = p.parse_args()
 
 def flatten(node, prefix, out):
     if isinstance(node, dict):
@@ -235,18 +250,56 @@ def flatten(node, prefix, out):
         out[prefix] = node
     return out
 
-a = flatten(json.load(open(sys.argv[1])), "", {})
-b = flatten(json.load(open(sys.argv[2])), "", {})
+def allowed(k):
+    return k in args.allow or any(sub in k for sub in args.allow_sub)
+
+a = flatten(json.load(open(args.a)), "", {})
+b = flatten(json.load(open(args.b)), "", {})
 bad = [k for k in a.keys() | b.keys()
-       if k not in ALLOWED and a.get(k) != b.get(k)]
+       if not allowed(k) and a.get(k) != b.get(k)]
 if bad:
     for k in sorted(bad):
-        print(f"SIMD OFF/ON mismatch {k}: {a.get(k)} vs {b.get(k)}",
+        print(f"{args.label} mismatch {k}: {a.get(k)} vs {b.get(k)}",
               file=sys.stderr)
     sys.exit(1)
-print(f"SIMD OFF/ON exports identical ({len(a)} fields, "
-      f"{len(ALLOWED)} dispatch fields excluded)")
+print(f"{args.label} identical ({len(a)} fields)")
 EOF
+    # The only fields the dispatch tier may change.
+    local dispatch_allow=(--allow run/simd_dispatch
+        --allow registry/scalars/simd.dispatch
+        --allow registry/scalars/texunit.simd_width)
+    python3 "$simd_diff/diff.py" \
+        "$simd_diff/build-simd-off.json" "$simd_diff/build-perf.json" \
+        --label "SIMD OFF/ON" "${dispatch_allow[@]}"
+    # Forced-tier matrix on the ON build: every runnable tier must
+    # export the scalar run's numbers (dispatch fields aside).
+    local tiers="scalar sse"
+    if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+        tiers="$tiers avx2"
+    fi
+    local tier
+    for tier in $tiers; do
+        PARGPU_SIMD="$tier" "$ROOT/build-perf/src/harness/pargpu_harness" \
+            --run-game wolf --run-scenario patu \
+            --run-width 160 --run-height 120 --run-frames 2 --quiet \
+            --metrics-json "$simd_diff/tier-$tier.json"
+    done
+    for tier in $tiers; do
+        [ "$tier" = scalar ] && continue
+        python3 "$simd_diff/diff.py" \
+            "$simd_diff/tier-scalar.json" "$simd_diff/tier-$tier.json" \
+            --label "tier scalar/$tier" "${dispatch_allow[@]}"
+    done
+    # Arena storage matrix: PARGPU_ARENA=0 may change only the
+    # arena-reporting fields (they read zero), nothing else.
+    PARGPU_ARENA=0 "$ROOT/build-perf/src/harness/pargpu_harness" \
+        --run-game wolf --run-scenario patu \
+        --run-width 160 --run-height 120 --run-frames 2 --quiet \
+        --metrics-json "$simd_diff/arena-off.json"
+    python3 "$simd_diff/diff.py" \
+        "$simd_diff/tier-scalar.json" "$simd_diff/arena-off.json" \
+        --label "arena on/off" --allow-sub arena \
+        "${dispatch_allow[@]}"
 }
 
 stage_analyze() {

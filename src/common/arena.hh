@@ -17,6 +17,7 @@
 #define PARGPU_COMMON_ARENA_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -84,6 +85,7 @@ class BumpArena
     {
         cur_block_ = 0;
         offset_ = 0;
+        used_bytes_ = 0;
     }
 
     /** Bytes of backing storage currently reserved. */
@@ -94,6 +96,56 @@ class BumpArena
         for (const Block &b : blocks_)
             total += b.size;
         return total;
+    }
+
+    /** Payload bytes handed out since the last reset() (pre-alignment). */
+    std::size_t
+    usedBytes() const
+    {
+        return used_bytes_;
+    }
+
+    /** Maximum usedBytes() reached since the last resetHighWater(). */
+    std::size_t
+    highWaterBytes() const
+    {
+        return high_water_;
+    }
+
+    /**
+     * Restart high-water tracking at the current live usage. The
+     * simulator calls this per frame so arena.high_water is a per-frame
+     * peak — a lifetime peak would depend on which frames this
+     * simulator instance happened to render (frame-parallel runs shard
+     * frames across instances) and break cross-mode determinism.
+     */
+    void
+    resetHighWater()
+    {
+        high_water_ = used_bytes_;
+    }
+
+    /**
+     * Payload bytes handed out over the arena's lifetime; never reset, so
+     * callers can difference it around a frame to get per-frame usage even
+     * when the arena is reset several times inside the frame.
+     */
+    std::size_t
+    lifetimeBytes() const
+    {
+        return lifetime_bytes_;
+    }
+
+    /**
+     * Backing blocks allocated from the heap over the arena's lifetime.
+     * Steady state is reached when this stops growing: every later
+     * allocSpan*() is served from recycled blocks without touching the
+     * heap (the zero-per-frame-allocation guard in tests/arena_test.cc).
+     */
+    std::size_t
+    blockAllocs() const
+    {
+        return blocks_.size();
     }
 
   private:
@@ -111,9 +163,23 @@ class BumpArena
         while (true) {
             if (cur_block_ < blocks_.size()) {
                 Block &b = blocks_[cur_block_];
-                std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+                // Align the actual address, not the block offset: the
+                // backing new[] only guarantees
+                // __STDCPP_DEFAULT_NEW_ALIGNMENT__, so offset math alone
+                // under-aligns any stricter type (e.g. alignas(64)).
+                // The address feeds only this padding computation — for
+                // align <= that guarantee the padding is address-invariant,
+                // and spans are value-initialized — so no result ever
+                // depends on it. pargpu-analyze: allow(addr-hash)
+                auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+                std::size_t aligned =
+                    (((base + offset_ + align - 1) & ~(align - 1)) - base);
                 if (aligned + bytes <= b.size) {
                     offset_ = aligned + bytes;
+                    used_bytes_ += bytes;
+                    lifetime_bytes_ += bytes;
+                    if (used_bytes_ > high_water_)
+                        high_water_ = used_bytes_;
                     return b.data.get() + aligned;
                 }
                 // Block exhausted: move on (leftover bytes are recycled at
@@ -132,6 +198,9 @@ class BumpArena
     std::vector<Block> blocks_;
     std::size_t cur_block_ = 0; ///< Block currently bumped into.
     std::size_t offset_ = 0;    ///< Bump offset within the current block.
+    std::size_t used_bytes_ = 0;     ///< Payload bytes since last reset().
+    std::size_t high_water_ = 0;     ///< Max used_bytes_ ever reached.
+    std::size_t lifetime_bytes_ = 0; ///< Payload bytes, never reset.
 };
 
 } // namespace pargpu

@@ -51,6 +51,13 @@ constexpr FrameField kFrameFields[] = {
     {"memo_lookups", [](const FrameStats &f) { return f.memo_lookups; }},
     {"memo_hits", [](const FrameStats &f) { return f.memo_hits; }},
     {"simd_batches", [](const FrameStats &f) { return f.simd_batches; }},
+    {"raster_simd_quads",
+     [](const FrameStats &f) { return f.raster_simd_quads; }},
+    {"fb_simd_fills", [](const FrameStats &f) { return f.fb_simd_fills; }},
+    {"arena_frame_bytes",
+     [](const FrameStats &f) { return f.arena_frame_bytes; }},
+    {"arena_high_water",
+     [](const FrameStats &f) { return f.arena_high_water; }},
     {"af_candidate_pixels",
      [](const FrameStats &f) { return f.af_candidate_pixels; }},
     {"approx_stage1", [](const FrameStats &f) { return f.approx_stage1; }},
@@ -127,6 +134,11 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
         t.memo_lookups += f.memo_lookups;
         t.memo_hits += f.memo_hits;
         t.simd_batches += f.simd_batches;
+        t.raster_simd_quads += f.raster_simd_quads;
+        t.fb_simd_fills += f.fb_simd_fills;
+        t.arena_frame_bytes += f.arena_frame_bytes;
+        t.arena_high_water =
+            std::max(t.arena_high_water, f.arena_high_water);
         t.af_candidate_pixels += f.af_candidate_pixels;
         t.approx_stage1 += f.approx_stage1;
         t.approx_stage2 += f.approx_stage2;
@@ -154,8 +166,17 @@ buildRunRegistry(const RunResult &run, StatRegistry &reg, double mssim)
     reg.inc("geometry.triangles_in", t.triangles_in);
     reg.inc("geometry.triangles_setup", t.triangles_setup);
 
-    // Rasterizer + early depth test.
+    // Rasterizer + early depth test. raster.simd_quads counts edge_quad
+    // kernel evaluations (covered or not); like fb.simd_fills and the
+    // arena.* scalars below it is invocation-granular and geometry-
+    // determined, so the values are identical across SIMD tiers and
+    // execution modes (only PARGPU_ARENA=0 changes arena.* — to zero).
     reg.inc("raster.quads", t.quads);
+    reg.inc("raster.simd_quads", t.raster_simd_quads);
+    reg.inc("fb.simd_fills", t.fb_simd_fills);
+    reg.inc("arena.frame_bytes", t.arena_frame_bytes);
+    reg.set("arena.high_water",
+            static_cast<double>(t.arena_high_water));
     reg.inc("earlyz.tested_pixels", t.earlyz_tested);
     reg.inc("earlyz.killed_pixels", t.earlyz_killed);
     reg.set("earlyz.kill_rate", ratio(t.earlyz_killed, t.earlyz_tested));

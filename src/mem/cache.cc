@@ -61,7 +61,10 @@ SetAssocCache::access(Addr addr)
     Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
     ++use_clock_;
 
-    Line *victim = base;
+    // Hit scan first: most accesses hit, and the victim selection below
+    // is dead work for them. The split changes no outcome — on a miss no
+    // tag matches, so the victim scan sees exactly the lines (and LRU
+    // stamps) the fused loop would have.
     for (unsigned w = 0; w < config_.assoc; ++w) {
         Line &line = base[w];
         if (line.valid && line.tag == tag) {
@@ -69,6 +72,13 @@ SetAssocCache::access(Addr addr)
             ++hits_;
             return true;
         }
+    }
+
+    // Victim: the last invalid way if any (same tie-break as the fused
+    // loop), else least-recently-used, earliest way on equal stamps.
+    Line *victim = base;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
         if (!line.valid) {
             victim = &line;
         } else if (victim->valid && line.last_use < victim->last_use) {

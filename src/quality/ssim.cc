@@ -6,6 +6,7 @@
 #include "common/contract.hh"
 #include "common/logging.hh"
 #include "common/threadpool.hh"
+#include "simd/kernels.hh"
 
 namespace pargpu
 {
@@ -33,6 +34,21 @@ gaussianKernel(int window, float sigma)
 /** Rows per parallel chunk: amortizes dispatch without hurting balance. */
 constexpr std::size_t kRowChunk = 16;
 
+/**
+ * Truncated-kernel weight sum for taps [lo, hi]: the ascending-d
+ * accumulation order of the original per-pixel loop, so the value is
+ * bit-identical to what that loop computed for every pixel sharing the
+ * same truncation.
+ */
+float
+truncatedWsum(const std::vector<float> &kernel, int half, int lo, int hi)
+{
+    float wsum = 0.0f;
+    for (int d = lo; d <= hi; ++d)
+        wsum += kernel[d + half];
+    return wsum;
+}
+
 // Separable Gaussian blur with edge truncation + renormalization. Because
 // the 2-D kernel is a separable product, renormalizing each axis
 // independently equals renormalizing the truncated 2-D kernel.
@@ -42,6 +58,13 @@ constexpr std::size_t kRowChunk = 16;
 // disjoint slice, so the result is bit-identical at any thread count.
 // The vertical pass only begins once the horizontal pass has fully
 // completed (parallelFor is a barrier).
+//
+// The inner reductions run through the dispatched ssim_row kernel: the
+// truncation bounds are uniform over a horizontal row's interior and
+// over an entire vertical row, so each uniform run is one kernel call
+// (ascending-tap chain + one divide per pixel — the original loop's
+// arithmetic, vectorized across pixels). Horizontal edge pixels keep the
+// scalar loop, whose chain the scalar kernel tier mirrors exactly.
 void
 blur(const std::vector<float> &src, int w, int h,
      const std::vector<float> &kernel, std::vector<float> &tmp,
@@ -49,6 +72,11 @@ blur(const std::vector<float> &src, int w, int h,
 {
     const int window = static_cast<int>(kernel.size());
     const int half = window / 2;
+    const simd::KernelOps &ops = simd::activeKernels();
+    const float full_wsum = truncatedWsum(kernel, half, -half, half);
+    // Interior pixels of a horizontal row: full kernel support.
+    const int ix0 = std::min(half, w);
+    const int ix1 = std::max(ix0, w - half);
 
     // Horizontal pass.
     ThreadPool::run(static_cast<std::size_t>(h), kRowChunk,
@@ -56,7 +84,7 @@ blur(const std::vector<float> &src, int w, int h,
         const int y = static_cast<int>(yy);
         const float *row = &src[static_cast<std::size_t>(y) * w];
         float *out = &tmp[static_cast<std::size_t>(y) * w];
-        for (int x = 0; x < w; ++x) {
+        auto edge = [&](int x) {
             float acc = 0.0f, wsum = 0.0f;
             int lo = x - half < 0 ? -x : -half;
             int hi = x + half >= w ? w - 1 - x : half;
@@ -66,25 +94,28 @@ blur(const std::vector<float> &src, int w, int h,
                 wsum += kv;
             }
             out[x] = acc / wsum;
-        }
+        };
+        for (int x = 0; x < ix0; ++x)
+            edge(x);
+        if (ix1 > ix0)
+            ops.ssim_row(row + ix0 - half, out + ix0, ix1 - ix0, 1,
+                         kernel.data(), window, full_wsum);
+        for (int x = ix1; x < w; ++x)
+            edge(x);
     });
 
-    // Vertical pass.
+    // Vertical pass: the truncation is uniform across a row, so the
+    // whole row is one kernel call over the surviving tap slice.
     ThreadPool::run(static_cast<std::size_t>(h), kRowChunk,
                     [&](std::size_t yy) {
         const int y = static_cast<int>(yy);
         float *out = &dst[static_cast<std::size_t>(y) * w];
         int lo = y - half < 0 ? -y : -half;
         int hi = y + half >= h ? h - 1 - y : half;
-        for (int x = 0; x < w; ++x) {
-            float acc = 0.0f, wsum = 0.0f;
-            for (int d = lo; d <= hi; ++d) {
-                float kv = kernel[d + half];
-                acc += kv * tmp[static_cast<std::size_t>(y + d) * w + x];
-                wsum += kv;
-            }
-            out[x] = acc / wsum;
-        }
+        const float wsum = lo == -half && hi == half
+            ? full_wsum : truncatedWsum(kernel, half, lo, hi);
+        ops.ssim_row(&tmp[static_cast<std::size_t>(y + lo) * w], out, w, w,
+                     kernel.data() + (lo + half), hi - lo + 1, wsum);
     });
 }
 

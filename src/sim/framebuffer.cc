@@ -5,6 +5,7 @@
 
 #include "common/contract.hh"
 #include "sim/config.hh"
+#include "simd/kernels.hh"
 
 namespace pargpu
 {
@@ -27,13 +28,40 @@ Framebuffer::Framebuffer(int width, int height, BumpArena &arena)
 {
 }
 
-void
+int
 Framebuffer::clear(const Color4f &c)
 {
-    for (Color4f &px : color_)
-        px = c;
-    for (float &d : depth_)
-        d = std::numeric_limits<float>::infinity();
+    const simd::KernelOps &ops = simd::activeKernels();
+    const float rgba[4] = {c.r, c.g, c.b, c.a};
+    const int pixels = static_cast<int>(color_.size());
+    ops.fill_color(reinterpret_cast<float *>(color_.data()), pixels, rgba);
+    ops.fill_depth(depth_.data(), pixels,
+                   std::numeric_limits<float>::infinity());
+    return 2;
+}
+
+unsigned
+Framebuffer::depthTestQuad(int x, int y, const float depth[4])
+{
+    PARGPU_CHECK_RANGE(x, 0, width() - 2, "depth quad x");
+    PARGPU_CHECK_RANGE(y, 0, height() - 2, "depth quad y");
+    float *row0 = depth_.data() + static_cast<std::size_t>(y) * width() + x;
+    return simd::activeKernels().depth_quad(row0, row0 + width(), depth);
+}
+
+void
+Framebuffer::scatterQuad(int x, int y, const float rgba[16], unsigned mask)
+{
+    float *row0 = reinterpret_cast<float *>(
+        color_.data() + static_cast<std::size_t>(y) * width() + x);
+    // The bottom row may fall off the viewport on odd heights; it is
+    // only reachable when a mask bit selects it, so alias it to the top
+    // row otherwise rather than form an out-of-range pointer.
+    float *row1 = (mask & 0xCu) != 0
+        ? reinterpret_cast<float *>(
+              color_.data() + static_cast<std::size_t>(y + 1) * width() + x)
+        : row0;
+    simd::activeKernels().scatter_quad(row0, row1, rgba, mask);
 }
 
 bool

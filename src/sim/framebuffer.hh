@@ -40,14 +40,40 @@ class Framebuffer
     int width() const { return width_; }
     int height() const { return height_; }
 
-    /** Clear color to @p c and depth to the far value. */
-    void clear(const Color4f &c);
+    /**
+     * Clear color to @p c and depth to the far value, through the active
+     * dispatch tier's fill kernels (pure stores, so every tier writes
+     * identical planes).
+     *
+     * @return Number of SIMD fill-kernel invocations (the fb.simd_fills
+     *         counter's clear contribution).
+     */
+    int clear(const Color4f &c);
 
     /**
      * Depth-test-and-set: returns true (and stores @p depth) if @p depth is
      * nearer than the stored value.
      */
     bool depthTest(int x, int y, float depth);
+
+    /**
+     * Depth-test-and-write all four pixels of the fully in-bounds 2x2
+     * quad at even (x, y) in one kernel call; depth[i] maps to pixel
+     * (x + (i & 1), y + (i >> 1)). Returns the pass mask. Lane-wise the
+     * exact depthTest() compare-and-store; fail lanes rewrite their
+     * original bits, so the caller must own the whole quad (true under
+     * tile-parallel execution only when the quad is fully inside the
+     * walk window — the caller checks coverage == 0xF first).
+     */
+    unsigned depthTestQuad(int x, int y, const float depth[4]);
+
+    /**
+     * Write the shaded quad colors rgba[4*i .. 4*i+3] to each pixel
+     * (x + (i & 1), y + (i >> 1)) whose @p mask bit i is set, in one
+     * kernel call. Lanes with a clear bit are never touched, so partial
+     * quads at the viewport edge are safe.
+     */
+    void scatterQuad(int x, int y, const float rgba[16], unsigned mask);
 
     /** Read-only depth value at (x, y). */
     float depthAt(int x, int y) const;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <span>
 
 #include "common/contract.hh"
@@ -23,52 +24,15 @@ namespace
 /** Fixed directional light used for flat face shading. */
 const Vec3 kLightDir = Vec3{0.4f, 0.8f, 0.45f}.normalized();
 
-/**
- * Pass-A record of one surviving quad under tile-parallel execution.
- * pre_cycles carries the rasterizer cost accumulated since the previous
- * surviving quad (killed quads included), so the commit pass can
- * reconstruct the exact serial issue cycle without revisiting them.
- */
-struct QuadLog
-{
-    Cycle pre_cycles = 0;         ///< Raster cycles up to and incl. self.
-    Cycle work = 0;               ///< TU address + filter cycles.
-    std::uint32_t miss_begin = 0; ///< L1-miss slice in the cluster front.
-    std::uint32_t miss_end = 0;
-    bool any_line = false;
-};
+using detail::ClusterLog;
+using detail::QuadLog;
+using detail::TileLog;
 
-/** Pass-A record of one non-empty tile. */
-struct TileLog
-{
-    std::size_t index = 0;         ///< Linear tile index (row-major).
-    std::uint32_t quad_begin = 0;  ///< Range into ClusterLog::quads.
-    std::uint32_t quad_end = 0;
-    Cycle tail_cycles = 0;         ///< Raster cycles after the last
-                                   ///< surviving quad.
-    std::uint64_t pixels = 0;      ///< Pixels written (flush size).
-    Addr flush_addr = 0;           ///< Tile-origin framebuffer address.
-};
-
-/** Everything one cluster produces during pass A of a draw call. */
-struct ClusterLog
-{
-    std::vector<QuadLog> quads;
-    std::vector<TileLog> tiles;
-    std::uint64_t earlyz_tested = 0;
-    std::uint64_t earlyz_killed = 0;
-    Cycle shader_busy = 0;
-
-    void
-    clearDraw()
-    {
-        quads.clear();
-        tiles.clear();
-        earlyz_tested = 0;
-        earlyz_killed = 0;
-        shader_busy = 0;
-    }
-};
+// arenaScratchEnabled() override: -1 = follow the environment. Set-once
+// test hook in the same spirit as the SIMD tier override — written only
+// between frames by setArenaScratchForTesting(), never concurrently
+// with renderFrame().
+int arena_override = -1; // pargpu-analyze: allow(global-state)
 
 /** Per-face lighting factor from the world-space normal. */
 float
@@ -89,6 +53,24 @@ tileParallelForced()
         return v != nullptr && v[0] == '1';
     }();
     return forced;
+}
+
+bool
+arenaScratchEnabled()
+{
+    if (arena_override >= 0)
+        return arena_override != 0;
+    static const bool enabled = [] {
+        const char *v = std::getenv("PARGPU_ARENA");
+        return v == nullptr || v[0] != '0';
+    }();
+    return enabled;
+}
+
+void
+setArenaScratchForTesting(int mode)
+{
+    arena_override = mode;
 }
 
 GpuSimulator::GpuSimulator(const GpuConfig &config)
@@ -156,11 +138,32 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
     base.dram_reads = mem_->dram().reads();
     base.dram_row_hits = mem_->dram().rowHits();
 
-    frame_arena_.reset();
-    Framebuffer fb(width, height, frame_arena_);
-    fb.clear(scene.clear_color);
+    // All per-frame scratch that exists in every execution mode comes
+    // from the two arenas (or from plain vectors under PARGPU_ARENA=0);
+    // the lifetime delta around the frame is the arena.frame_bytes
+    // counter, robust to bin_arena_ being reset once per draw.
+    const bool use_arena = arenaScratchEnabled();
+    const std::size_t arena_base =
+        frame_arena_.lifetimeBytes() + bin_arena_.lifetimeBytes();
 
     FrameStats fs;
+
+    frame_arena_.reset();
+    // High-water marks restart per frame: the exported arena.high_water
+    // must describe this frame alone, whichever simulator instance (and
+    // prior frame history) renders it.
+    bin_arena_.reset();
+    frame_arena_.resetHighWater();
+    bin_arena_.resetHighWater();
+    std::optional<Framebuffer> fb_store;
+    if (use_arena)
+        fb_store.emplace(width, height, frame_arena_);
+    else
+        fb_store.emplace(width, height);
+    Framebuffer &fb = *fb_store;
+    fs.fb_simd_fills +=
+        static_cast<std::uint64_t>(fb.clear(scene.clear_color));
+
     const unsigned tile = config_.tile_size;
     const int tiles_x = (width + tile - 1) / tile;
     const int tiles_y = (height + tile - 1) / tile;
@@ -168,15 +171,42 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
     const unsigned shader_parallelism =
         config_.clusters * config_.shaders_per_cluster;
 
-    std::vector<Cycle> cluster_cycles(config_.clusters, 0);
-    std::vector<std::uint64_t> tiles_per_cluster(config_.clusters, 0);
+    std::vector<Cycle> cc_heap;
+    std::vector<std::uint64_t> tpc_heap;
+    std::span<Cycle> cluster_cycles;
+    std::span<std::uint64_t> tiles_per_cluster;
+    if (use_arena) {
+        cluster_cycles = frame_arena_.allocSpan<Cycle>(config_.clusters);
+        tiles_per_cluster =
+            frame_arena_.allocSpan<std::uint64_t>(config_.clusters);
+    } else {
+        cc_heap.assign(config_.clusters, 0);
+        tpc_heap.assign(config_.clusters, 0);
+        cluster_cycles = cc_heap;
+        tiles_per_cluster = tpc_heap;
+    }
     Cycle geometry_cycles = 0;
 
     // Early depth test over a quad's covered pixels; returns the
-    // surviving coverage mask. The tested/killed counters are passed in
-    // so the tile-parallel path can shard them per cluster.
+    // surviving coverage mask. Fully covered quads take the 4-lane
+    // depth_quad kernel (one compare-and-select per quad, counted in
+    // fb.simd_fills); partial quads keep the per-pixel path. Both paths
+    // test the same pixels against the same values, so tested/killed and
+    // the surviving mask are identical either way. The counters are
+    // passed in so the tile-parallel path can shard them per cluster.
     auto depthTestQuad = [&fb](QuadFragment &q, std::uint64_t &tested,
-                               std::uint64_t &killed) -> unsigned {
+                               std::uint64_t &killed,
+                               std::uint64_t &fills) -> unsigned {
+        if (q.coverage == 0xFu) {
+            // Full coverage implies all four pixels are inside the walk
+            // window (and thus the viewport), so this cluster owns the
+            // whole quad and the kernel's fail-lane rewrites are safe.
+            unsigned surv = fb.depthTestQuad(q.x, q.y, q.depth);
+            ++fills;
+            tested += 4;
+            killed += 4u - static_cast<unsigned>(std::popcount(surv));
+            return surv;
+        }
         unsigned surv = 0;
         for (int i = 0; i < 4; ++i) {
             if (!(q.coverage & (1u << i)))
@@ -192,13 +222,11 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         return surv;
     };
 
-    // Shade one surviving pixel from its filtered texture color and
-    // write it to the framebuffer.
-    auto writeShadedPixel = [&fb](const SetupTriangle &st,
-                                  const QuadFragment &q, int i,
-                                  const Color4f &texc) {
-        int px = q.x + (i & 1);
-        int py = q.y + (i >> 1);
+    // Shade one surviving pixel from its filtered texture color; the
+    // caller stages the quad's colors and scatters them in one masked
+    // kernel store.
+    auto shadeFragment = [](const SetupTriangle &st,
+                            const Color4f &texc) -> Color4f {
         Color4f c = texc * st.shade;
         if (st.specular) {
             // Glint: steep nonlinear response to the filtered luma
@@ -212,29 +240,37 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             c += Color4f{0.95f, 0.95f, 0.85f, 0} * (0.9f * g);
         }
         c.a = 1.0f;
-        fb.writeColor(px, py, c.clamped());
+        return c.clamped();
     };
 
-    // Tile-parallel state: per-cluster pass-A logs and memory fronts,
-    // reused across draws (cleared after each draw's commit pass).
+    // Tile-parallel state: per-cluster pass-A logs and memory fronts.
+    // Persistent members (sized on first use) so their vectors keep a
+    // steady-state capacity across frames; cleared after each draw's
+    // commit pass.
     const bool tile_par = config_.tile_parallel || tileParallelForced();
-    std::vector<ClusterLog> logs;
-    std::vector<ClusterMemFront> fronts;
     if (tile_par) {
-        logs.resize(config_.clusters);
-        fronts.reserve(config_.clusters);
-        for (unsigned c = 0; c < config_.clusters; ++c)
-            fronts.emplace_back(*mem_, c);
+        if (logs_.size() < config_.clusters)
+            logs_.resize(config_.clusters);
+        if (fronts_.size() < config_.clusters) {
+            fronts_.clear();
+            fronts_.reserve(config_.clusters);
+            for (unsigned c = 0; c < config_.clusters; ++c)
+                fronts_.emplace_back(*mem_, c);
+        }
+        if (cursor_.size() < config_.clusters)
+            cursor_.resize(config_.clusters);
     }
 
     // Scratch bins: triangle indices per tile in CSR form (counts, start
     // offsets, one flat item array), rebuilt per draw call so draw order
     // (and therefore depth-test order) is preserved. Arena-backed: one
     // vector-of-vectors here used to cost a heap allocation per touched
-    // tile per draw.
+    // tile per draw. The *_heap vectors are the PARGPU_ARENA=0 fallback
+    // (reused across draws, so the values written are identical).
     std::span<std::uint32_t> bin_count;
     std::span<std::uint32_t> bin_start;
     std::span<std::uint32_t> bin_items;
+    std::vector<std::uint32_t> bc_heap, bs_heap, bi_heap, cur_heap;
 
     Addr vertex_addr = AddressMap::kVertexBase;
 
@@ -245,6 +281,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         const Mesh &mesh = draw.mesh;
         const TextureMap &tex = *scene.textures[mesh.texture_id];
         const Mat4 mvp = camera.proj * camera.view * draw.model;
+        std::span<const SetupTriangle> tris;
 
         {
         PARGPU_TRACE_SCOPE("sim", "geometry");
@@ -265,7 +302,21 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             std::max(1u, shader_parallelism) + 1;
 
         // --- Primitive assembly / clip / cull ----------------------------
-        tris_.clear();
+        // Setup triangles land in bin_arena_ scratch (near clipping can
+        // split a triangle in two, so capacity is 2x the input count);
+        // the arena is reset here and the bins below are carved from the
+        // same arena afterwards, so both live until the next draw.
+        bin_arena_.reset();
+        const std::size_t max_setup = (mesh.indices.size() / 3) * 2;
+        std::span<SetupTriangle> tri_scratch;
+        if (use_arena) {
+            tri_scratch =
+                bin_arena_.allocSpanUninit<SetupTriangle>(max_setup);
+        } else {
+            tris_.resize(max_setup);
+            tri_scratch = tris_;
+        }
+        std::size_t n_tris = 0;
         for (std::size_t t = 0; t + 2 < mesh.indices.size(); t += 3) {
             Vertex tv[3];
             Vec3 wp[3];
@@ -276,11 +327,13 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             }
             ++fs.triangles_in;
             float shade = faceShade(wp[0], wp[1], wp[2]);
-            setupTriangles(tv, mvp, shade, mesh.texture_id, draw.filter,
-                           draw.backface_cull, width, height, tris_,
-                           draw.specular);
+            n_tris += static_cast<std::size_t>(setupTriangles(
+                tv, mvp, shade, mesh.texture_id, draw.filter,
+                draw.backface_cull, width, height,
+                tri_scratch.data() + n_tris, draw.specular));
         }
-        fs.triangles_setup += tris_.size();
+        tris = tri_scratch.first(n_tris);
+        fs.triangles_setup += tris.size();
         geometry_cycles += (mesh.indices.size() / 3) *
             config_.tri_setup_cycles / std::max(1u, config_.clusters) + 1;
 
@@ -289,9 +342,13 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         // prefix-summed offsets. Items land grouped by tile, triangles in
         // submission order within each tile — the same traversal order
         // the per-tile vectors produced.
-        bin_arena_.reset();
-        bin_count = bin_arena_.allocSpan<std::uint32_t>(n_tiles);
-        for (const SetupTriangle &st : tris_) {
+        if (use_arena) {
+            bin_count = bin_arena_.allocSpan<std::uint32_t>(n_tiles);
+        } else {
+            bc_heap.assign(n_tiles, 0);
+            bin_count = bc_heap;
+        }
+        for (const SetupTriangle &st : tris) {
             int tx0 = st.min_x / static_cast<int>(tile);
             int tx1 = st.max_x / static_cast<int>(tile);
             int ty0 = st.min_y / static_cast<int>(tile);
@@ -301,20 +358,33 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                     ++bin_count[static_cast<std::size_t>(ty) * tiles_x +
                                 tx];
         }
-        bin_start = bin_arena_.allocSpanUninit<std::uint32_t>(n_tiles + 1);
+        if (use_arena) {
+            bin_start =
+                bin_arena_.allocSpanUninit<std::uint32_t>(n_tiles + 1);
+        } else {
+            bs_heap.resize(n_tiles + 1);
+            bin_start = bs_heap;
+        }
         std::uint32_t running = 0;
         for (std::size_t t = 0; t < n_tiles; ++t) {
             bin_start[t] = running;
             running += bin_count[t];
         }
         bin_start[n_tiles] = running;
-        bin_items = bin_arena_.allocSpanUninit<std::uint32_t>(running);
-        std::span<std::uint32_t> bin_cursor =
-            bin_arena_.allocSpanUninit<std::uint32_t>(n_tiles);
+        std::span<std::uint32_t> bin_cursor;
+        if (use_arena) {
+            bin_items = bin_arena_.allocSpanUninit<std::uint32_t>(running);
+            bin_cursor = bin_arena_.allocSpanUninit<std::uint32_t>(n_tiles);
+        } else {
+            bi_heap.resize(running);
+            bin_items = bi_heap;
+            cur_heap.resize(n_tiles);
+            bin_cursor = cur_heap;
+        }
         std::copy(bin_start.begin(), bin_start.end() - 1,
                   bin_cursor.begin());
-        for (std::uint32_t ti = 0; ti < tris_.size(); ++ti) {
-            const SetupTriangle &st = tris_[ti];
+        for (std::uint32_t ti = 0; ti < tris.size(); ++ti) {
+            const SetupTriangle &st = tris[ti];
             int tx0 = st.min_x / static_cast<int>(tile);
             int tx1 = st.max_x / static_cast<int>(tile);
             int ty0 = st.min_y / static_cast<int>(tile);
@@ -355,7 +425,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                 std::uint64_t tile_pixels = 0;
 
                 for (std::uint32_t ti : bin) {
-                    const SetupTriangle &st = tris_[ti];
+                    const SetupTriangle &st = tris[ti];
                     int wx0 = std::max(px0, st.min_x);
                     int wy0 = std::max(py0, st.min_y);
                     int wx1 = std::min(px1, st.max_x);
@@ -363,7 +433,8 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                     if (wx0 > wx1 || wy0 > wy1)
                         continue;
 
-                    rasterizeTriangle(st, wx0, wy0, wx1, wy1,
+                    fs.raster_simd_quads += rasterizeTriangle(
+                        st, wx0, wy0, wx1, wy1,
                         [&](const QuadFragment &quad) {
                             // Runs inline under the serial PhaseGuard
                             // above; restate that for the analysis,
@@ -375,7 +446,8 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                             // Early depth test per covered pixel.
                             QuadFragment q = quad;
                             unsigned surv = depthTestQuad(
-                                q, fs.earlyz_tested, fs.earlyz_killed);
+                                q, fs.earlyz_tested, fs.earlyz_killed,
+                                fs.fb_simd_fills);
                             cc += config_.raster_quad_cycles;
                             if (surv == 0)
                                 return;
@@ -395,12 +467,20 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                                 static_cast<double>(lo));
                             fs.shader_busy_cycles += shader_c;
 
+                            float rgba[16];
                             for (int i = 0; i < 4; ++i) {
                                 if (!(surv & (1u << i)))
                                     continue;
-                                writeShadedPixel(st, q, i, qr.color[i]);
+                                const Color4f c =
+                                    shadeFragment(st, qr.color[i]);
+                                rgba[4 * i + 0] = c.r;
+                                rgba[4 * i + 1] = c.g;
+                                rgba[4 * i + 2] = c.b;
+                                rgba[4 * i + 3] = c.a;
                                 ++tile_pixels;
                             }
+                            fb.scatterQuad(q.x, q.y, rgba, surv);
+                            ++fs.fb_simd_fills;
                         });
                 }
 
@@ -426,8 +506,8 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             // L1 misses land in the cluster front's log instead.
             ThreadPool::run(config_.clusters, 1, [&](std::size_t c) {
                 PARGPU_TRACE_SCOPE_F("sim", "cluster", c);
-                ClusterLog &log = logs[c];
-                ClusterMemFront &front = fronts[c];
+                ClusterLog &log = logs_[c];
+                ClusterMemFront &front = fronts_[c];
                 TextureUnit &tu = *tus_[c];
                 for (std::size_t t = c; t < n_tiles;
                      t += config_.clusters) {
@@ -453,7 +533,7 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                     std::uint64_t tile_pixels = 0;
 
                     for (std::uint32_t ti : bin) {
-                        const SetupTriangle &st = tris_[ti];
+                        const SetupTriangle &st = tris[ti];
                         int wx0 = std::max(px0, st.min_x);
                         int wy0 = std::max(py0, st.min_y);
                         int wx1 = std::min(px1, st.max_x);
@@ -461,12 +541,13 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                         if (wx0 > wx1 || wy0 > wy1)
                             continue;
 
-                        rasterizeTriangle(st, wx0, wy0, wx1, wy1,
+                        log.simd_quads += rasterizeTriangle(
+                            st, wx0, wy0, wx1, wy1,
                             [&](const QuadFragment &quad) {
                                 QuadFragment q = quad;
                                 unsigned surv = depthTestQuad(
                                     q, log.earlyz_tested,
-                                    log.earlyz_killed);
+                                    log.earlyz_killed, log.fb_fills);
                                 pending += config_.raster_quad_cycles;
                                 if (surv == 0)
                                     return;
@@ -487,13 +568,20 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
                                 log.shader_busy +=
                                     config_.frag_quad_cycles;
 
+                                float rgba[16];
                                 for (int i = 0; i < 4; ++i) {
                                     if (!(surv & (1u << i)))
                                         continue;
-                                    writeShadedPixel(st, q, i,
-                                                     dq.color[i]);
+                                    const Color4f c =
+                                        shadeFragment(st, dq.color[i]);
+                                    rgba[4 * i + 0] = c.r;
+                                    rgba[4 * i + 1] = c.g;
+                                    rgba[4 * i + 2] = c.b;
+                                    rgba[4 * i + 3] = c.a;
                                     ++tile_pixels;
                                 }
+                                fb.scatterQuad(q.x, q.y, rgba, surv);
+                                ++log.fb_fills;
                             });
                     }
 
@@ -516,20 +604,20 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             // Workers have joined (ThreadPool::run is a barrier); this
             // thread is again the only agent in the memory system.
             PhaseGuard serial(mem_->serial_phase);
-            std::vector<std::size_t> cursor(config_.clusters, 0);
+            std::fill(cursor_.begin(), cursor_.end(), std::size_t{0});
             for (std::size_t t = 0; t < n_tiles; ++t) {
                 if (bin_count[t] == 0)
                     continue;
                 const unsigned cl =
                     static_cast<unsigned>(t) % config_.clusters;
-                ClusterLog &log = logs[cl];
-                PARGPU_INVARIANT(cursor[cl] < log.tiles.size() &&
-                                     log.tiles[cursor[cl]].index == t,
+                ClusterLog &log = logs_[cl];
+                PARGPU_INVARIANT(cursor_[cl] < log.tiles.size() &&
+                                     log.tiles[cursor_[cl]].index == t,
                                  "tile log out of order at tile ", t);
-                const TileLog &tl = log.tiles[cursor[cl]++];
+                const TileLog &tl = log.tiles[cursor_[cl]++];
                 Cycle &cc = cluster_cycles[cl];
                 TextureUnit &tu = *tus_[cl];
-                const std::vector<Addr> &miss = fronts[cl].missLines();
+                const std::vector<Addr> &miss = fronts_[cl].missLines();
 
                 for (std::uint32_t qi = tl.quad_begin; qi < tl.quad_end;
                      ++qi) {
@@ -570,12 +658,14 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
             // sums match the serial accumulation) and reset the per-draw
             // logs.
             for (unsigned c = 0; c < config_.clusters; ++c) {
-                fs.earlyz_tested += logs[c].earlyz_tested;
-                fs.earlyz_killed += logs[c].earlyz_killed;
-                fs.shader_busy_cycles += logs[c].shader_busy;
-                tiles_per_cluster[c] += logs[c].tiles.size();
-                logs[c].clearDraw();
-                fronts[c].clear();
+                fs.earlyz_tested += logs_[c].earlyz_tested;
+                fs.earlyz_killed += logs_[c].earlyz_killed;
+                fs.raster_simd_quads += logs_[c].simd_quads;
+                fs.fb_simd_fills += logs_[c].fb_fills;
+                fs.shader_busy_cycles += logs_[c].shader_busy;
+                tiles_per_cluster[c] += logs_[c].tiles.size();
+                logs_[c].clearDraw();
+                fronts_[c].clear();
             }
         }
     }
@@ -630,6 +720,16 @@ GpuSimulator::renderFrame(const Scene &scene, const Camera &camera,
         cs.filter_busy = ts.filter_busy;
         cs.mem_stall = ts.mem_stall;
     }
+
+    // Arena accounting: lifetime deltas survive the per-draw bin_arena_
+    // resets; the high-water mark is the peak live scratch either arena
+    // held during this frame (restarted above, so it is identical for
+    // every execution mode and simulator instance).
+    fs.arena_frame_bytes =
+        frame_arena_.lifetimeBytes() + bin_arena_.lifetimeBytes() -
+        arena_base;
+    fs.arena_high_water =
+        frame_arena_.highWaterBytes() + bin_arena_.highWaterBytes();
 
     fs.traffic_texture = mem_->trafficBytes(TrafficClass::Texture);
     fs.traffic_colordepth = mem_->trafficBytes(TrafficClass::ColorDepth);

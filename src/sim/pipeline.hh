@@ -75,6 +75,12 @@ struct FrameStats
     std::uint64_t memo_lookups = 0;  ///< Footprint-memo probes.
     std::uint64_t memo_hits = 0;     ///< ... served from the memo.
     std::uint64_t simd_batches = 0;  ///< Batched SoA filter invocations.
+    std::uint64_t raster_simd_quads = 0; ///< Quads through edge_quad.
+    std::uint64_t fb_simd_fills = 0; ///< Framebuffer kernel invocations.
+
+    // --- Arena scratch (bytes; zero when PARGPU_ARENA=0) -----------------
+    std::uint64_t arena_frame_bytes = 0; ///< Scratch handed out this frame.
+    std::uint64_t arena_high_water = 0;  ///< Peak live scratch this frame.
 
     // --- PATU decisions --------------------------------------------------
     std::uint64_t af_candidate_pixels = 0;
@@ -139,6 +145,85 @@ struct FrameOutput
 bool tileParallelForced();
 
 /**
+ * True (the default) when per-frame render scratch — framebuffer planes,
+ * triangle bins, setup-triangle storage, per-cluster accumulators — comes
+ * from the simulator's BumpArenas, so steady-state frames perform zero
+ * heap allocations. PARGPU_ARENA=0 switches every consumer to plain
+ * heap vectors instead; results are bit-identical either way (only the
+ * arena.* counters change, reporting zero when off). Cached on first
+ * call, like tileParallelForced().
+ */
+bool arenaScratchEnabled();
+
+/**
+ * Test hook: override arenaScratchEnabled() — 0 = off, 1 = on, -1 =
+ * back to the environment. Lets the determinism matrix exercise both
+ * storage modes inside one process; not thread-safe against concurrent
+ * renderFrame() calls.
+ */
+void setArenaScratchForTesting(int mode);
+
+namespace detail
+{
+
+/**
+ * Pass-A record of one surviving quad under tile-parallel execution.
+ * pre_cycles carries the rasterizer cost accumulated since the previous
+ * surviving quad (killed quads included), so the commit pass can
+ * reconstruct the exact serial issue cycle without revisiting them.
+ */
+struct QuadLog
+{
+    Cycle pre_cycles = 0;         ///< Raster cycles up to and incl. self.
+    Cycle work = 0;               ///< TU address + filter cycles.
+    std::uint32_t miss_begin = 0; ///< L1-miss slice in the cluster front.
+    std::uint32_t miss_end = 0;
+    bool any_line = false;
+};
+
+/** Pass-A record of one non-empty tile. */
+struct TileLog
+{
+    std::size_t index = 0;         ///< Linear tile index (row-major).
+    std::uint32_t quad_begin = 0;  ///< Range into ClusterLog::quads.
+    std::uint32_t quad_end = 0;
+    Cycle tail_cycles = 0;         ///< Raster cycles after the last
+                                   ///< surviving quad.
+    std::uint64_t pixels = 0;      ///< Pixels written (flush size).
+    Addr flush_addr = 0;           ///< Tile-origin framebuffer address.
+};
+
+/**
+ * Everything one cluster produces during pass A of a draw call. Owned
+ * by the simulator (not the frame) so the quad/tile vectors reach a
+ * steady-state capacity and stop allocating.
+ */
+struct ClusterLog
+{
+    std::vector<QuadLog> quads;
+    std::vector<TileLog> tiles;
+    std::uint64_t earlyz_tested = 0;
+    std::uint64_t earlyz_killed = 0;
+    std::uint64_t simd_quads = 0; ///< raster.simd_quads shard.
+    std::uint64_t fb_fills = 0;   ///< fb.simd_fills shard.
+    Cycle shader_busy = 0;
+
+    void
+    clearDraw()
+    {
+        quads.clear();
+        tiles.clear();
+        earlyz_tested = 0;
+        earlyz_killed = 0;
+        simd_quads = 0;
+        fb_fills = 0;
+        shader_busy = 0;
+    }
+};
+
+} // namespace detail
+
+/**
  * The simulator. Construct once per configuration; renderFrame() may be
  * called repeatedly (caches and DRAM state are reset per frame so every
  * frame is measured independently).
@@ -173,9 +258,22 @@ class GpuSimulator
      * blocks instead of re-allocating multi-MB vectors.
      */
     BumpArena frame_arena_;
-    /** Per-draw scratch: the tiling engine's CSR triangle bins. */
+    /**
+     * Per-draw scratch: the tiling engine's CSR triangle bins and the
+     * post-setup triangle array (reset at the top of each draw).
+     */
     BumpArena bin_arena_;
-    std::vector<SetupTriangle> tris_; ///< Post-setup triangles, per draw.
+    std::vector<SetupTriangle> tris_; ///< PARGPU_ARENA=0 fallback only.
+    /**
+     * Tile-parallel pass-A scratch, persistent across frames so the
+     * per-cluster vectors keep their steady-state capacity. Sized
+     * lazily on the first tile-parallel frame; never arena-backed
+     * (these exist only in one execution mode, and the arena.* counters
+     * must be identical across modes).
+     */
+    std::vector<detail::ClusterLog> logs_;
+    std::vector<ClusterMemFront> fronts_;
+    std::vector<std::size_t> cursor_; ///< Pass-B per-cluster tile cursor.
 };
 
 } // namespace pargpu

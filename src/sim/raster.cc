@@ -119,8 +119,7 @@ finishSetup(ScreenVertex sv[3], float shade, int texture_id,
 int
 setupTriangles(const Vertex tri[3], const Mat4 &mvp, float shade,
                int texture_id, FilterMode filter, bool cull,
-               int vp_w, int vp_h, std::vector<SetupTriangle> &out,
-               bool specular)
+               int vp_w, int vp_h, SetupTriangle *out, bool specular)
 {
     std::vector<ClipVertex> poly;
     poly.reserve(4);
@@ -148,11 +147,25 @@ setupTriangles(const Vertex tri[3], const Mat4 &mvp, float shade,
         SetupTriangle st;
         if (finishSetup(sv, shade, texture_id, filter, cull, specular,
                         vp_w, vp_h, st)) {
-            out.push_back(st);
+            out[added] = st;
             ++added;
         }
     }
     return added;
+}
+
+int
+setupTriangles(const Vertex tri[3], const Mat4 &mvp, float shade,
+               int texture_id, FilterMode filter, bool cull,
+               int vp_w, int vp_h, std::vector<SetupTriangle> &out,
+               bool specular)
+{
+    SetupTriangle buf[2];
+    const int n = setupTriangles(tri, mvp, shade, texture_id, filter,
+                                 cull, vp_w, vp_h, buf, specular);
+    for (int i = 0; i < n; ++i)
+        out.push_back(buf[i]);
+    return n;
 }
 
 } // namespace pargpu

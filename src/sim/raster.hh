@@ -14,10 +14,12 @@
 #define PARGPU_SIM_RASTER_HH
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/vec.hh"
 #include "sim/geometry.hh"
+#include "simd/kernels.hh"
 
 namespace pargpu
 {
@@ -77,6 +79,16 @@ int setupTriangles(const Vertex tri[3], const Mat4 &mvp, float shade,
                    int vp_w, int vp_h, std::vector<SetupTriangle> &out,
                    bool specular = false);
 
+/**
+ * Span-destination overload: writes up to 2 triangles at @p out (the
+ * caller guarantees that much capacity — arena scratch in the render
+ * loop). Same results as the vector overload.
+ */
+int setupTriangles(const Vertex tri[3], const Mat4 &mvp, float shade,
+                   int texture_id, FilterMode filter, bool cull,
+                   int vp_w, int vp_h, SetupTriangle *out,
+                   bool specular = false);
+
 /** Edge function: twice the signed area of (a, b, p). */
 inline float
 edgeFunction(float ax, float ay, float bx, float by, float px, float py)
@@ -89,10 +101,17 @@ edgeFunction(float ax, float ay, float bx, float by, float px, float py)
  * tile clipped to the triangle bbox), invoking @p emit for every 2x2 quad
  * with at least one covered pixel.
  *
+ * Each quad is evaluated by the active dispatch tier's 4-lane edge_quad
+ * kernel (one lane per pixel); the scalar tier carries the reference FP
+ * chain, so coverage, uv and depth are bit-identical on every tier.
+ *
  * @tparam EmitFn  Callable taking (const QuadFragment &).
+ * @return Number of quads evaluated (covered or not) — the
+ *         raster.simd_quads counter, identical across tiers and
+ *         execution modes because the walk itself never changes.
  */
 template <typename EmitFn>
-void
+std::uint64_t
 rasterizeTriangle(const SetupTriangle &tri, int x0, int y0, int x1, int y1,
                   EmitFn &&emit)
 {
@@ -104,54 +123,51 @@ rasterizeTriangle(const SetupTriangle &tri, int x0, int y0, int x1, int y1,
     const ScreenVertex &b = tri.v[1];
     const ScreenVertex &c = tri.v[2];
 
+    const simd::KernelOps &ops = simd::activeKernels();
+    simd::EdgeTri et;
+    et.ax = a.x;
+    et.ay = a.y;
+    et.bx = b.x;
+    et.by = b.y;
+    et.cx = c.x;
+    et.cy = c.y;
+    et.inv_area = tri.inv_area;
+    et.z0 = a.z;
+    et.z1 = b.z;
+    et.z2 = c.z;
+    et.iw0 = a.inv_w;
+    et.iw1 = b.inv_w;
+    et.iw2 = c.inv_w;
+    et.uw0 = a.u_w;
+    et.uw1 = b.u_w;
+    et.uw2 = c.u_w;
+    et.vw0 = a.v_w;
+    et.vw1 = b.v_w;
+    et.vw2 = c.v_w;
+
+    std::uint64_t visited = 0;
     for (int qy = qy0; qy <= y1; qy += 2) {
         for (int qx = qx0; qx <= x1; qx += 2) {
+            ++visited;
+            simd::EdgeQuadOut eq;
+            ops.edge_quad(et, qx, qy, x0, y0, x1, y1, eq);
+            if (eq.coverage == 0)
+                continue;
+
             QuadFragment quad;
             quad.x = qx;
             quad.y = qy;
-
-            bool any = false;
+            quad.coverage = eq.coverage;
             for (int i = 0; i < 4; ++i) {
-                int px = qx + (i & 1);
-                int py = qy + (i >> 1);
-                float cx = px + 0.5f;
-                float cy = py + 0.5f;
-
-                float e0 = edgeFunction(b.x, b.y, c.x, c.y, cx, cy);
-                float e1 = edgeFunction(c.x, c.y, a.x, a.y, cx, cy);
-                float w0 = e0 * tri.inv_area;
-                float w1 = e1 * tri.inv_area;
-                float w2 = 1.0f - w0 - w1;
-
-                // Attributes are evaluated for every pixel of the quad
-                // (extrapolated outside the triangle) so derivatives exist
-                // even at partially-covered quads.
-                float inv_w = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w;
-                float u_w = w0 * a.u_w + w1 * b.u_w + w2 * c.u_w;
-                float v_w = w0 * a.v_w + w1 * b.v_w + w2 * c.v_w;
-                // Exact-zero guard against dividing by an extrapolated
-                // 1/w of 0; near-zero values are valid and must divide.
-                float rcp = // pargpu-lint: allow(float-eq)
-                    inv_w != 0.0f ? 1.0f / inv_w : 0.0f;
-                quad.uv[i] = Vec2{u_w * rcp, v_w * rcp};
-                quad.depth[i] = w0 * a.z + w1 * b.z + w2 * c.z;
-
-                bool inside = w0 >= 0.0f && w1 >= 0.0f && w2 >= 0.0f;
-                bool in_window = px >= x0 && px <= x1 &&
-                    py >= y0 && py <= y1;
-                if (inside && in_window) {
-                    quad.coverage |= 1u << i;
-                    any = true;
-                }
+                quad.uv[i] = Vec2{eq.u[i], eq.v[i]};
+                quad.depth[i] = eq.depth[i];
             }
-            if (!any)
-                continue;
-
             quad.duvdx = quad.uv[1] - quad.uv[0];
             quad.duvdy = quad.uv[2] - quad.uv[0];
             emit(quad);
         }
     }
+    return visited;
 }
 
 } // namespace pargpu

@@ -11,6 +11,10 @@ TextureUnit::TextureUnit(const GpuConfig &config, unsigned cluster,
                          MemorySystem &mem)
     : config_(config), cluster_(cluster), mem_(&mem), patu_(config.patu)
 {
+    // line_bytes is validated power-of-two by the cache constructors
+    // (SetAssocCache), so line-aligning is a mask, not a divide; hoist
+    // it once — queueSample() runs per trilinear sample.
+    line_mask_ = ~(static_cast<Addr>(mem.config().line_bytes) - 1);
     PARGPU_ASSERT(config.addr_alus >= 1 && config.addr_alus <= 8,
                   "address ALU count must divide the 8-texel footprint: ",
                   config.addr_alus);
@@ -54,52 +58,6 @@ TextureUnit::QuadLineSet::insertLine(Addr line_addr)
     }
     PARGPU_INVARIANT(false, "quad line set overflow: a quad touches at "
                             "most 512 lines");
-}
-
-void
-TextureUnit::queueSample(const TexelAddrSet &addrs)
-{
-    // Texels within a sample frequently share cache lines (tiled layout),
-    // and samples across the quad share whole footprints; the fetch unit
-    // coalesces all of it, so record each distinct line once for the
-    // quad-level batched read.
-    // line_bytes is validated power-of-two by the cache constructors
-    // (SetAssocCache), so line-aligning is a mask, not a divide.
-    const Addr mask = ~(static_cast<Addr>(mem_->config().line_bytes) - 1);
-    for (int k = 0; k < 8; ++k) {
-        // Texels within a footprint usually share a line (tiled layout),
-        // and consecutive AF samples overlap footprints; insertLine()
-        // would dedup all of it anyway, so tracking the last line per
-        // level half (slots 0-3 = finer level, 4-7 = coarser) across the
-        // quad's samples only skips probes of lines already recorded —
-        // first-touch order is unchanged.
-        Addr la = addrs[static_cast<std::size_t>(k)] & mask;
-        Addr &prev = prev_line_[k >> 2];
-        if (la != prev) {
-            lines_.insertLine(la);
-            prev = la;
-        }
-    }
-    stats_.texels += 8;
-    ++stats_.trilinear_samples;
-}
-
-void
-TextureUnit::queueTexel(Addr addr)
-{
-    // Single-texel variant of queueSample() for the stochastic policies:
-    // one address, one texel, no trilinear op. STF draws within a pixel
-    // walk the footprint's AF line, so the same last-line hint applies
-    // (slot 0: STF fetches all land on the decision LOD's level pair).
-    const Addr mask = ~(static_cast<Addr>(mem_->config().line_bytes) - 1);
-    Addr la = addr & mask;
-    Addr &prev = prev_line_[0];
-    if (la != prev) {
-        lines_.insertLine(la);
-        prev = la;
-    }
-    stats_.texels += 1;
-    ++stats_.stf_samples;
 }
 
 Cycle
@@ -283,7 +241,7 @@ TextureUnit::anisoQuadPatu(const QuadFragment &quad,
             // (overlapped with address calculation, Section V-B).
             footprints[i] = arena_.allocSpanUninit<TexelAddrSet>(
                 static_cast<std::size_t>(info.sampleSize));
-            Color4f sample_cols[simd::kMaxLanes];
+            Color4f *sample_cols = scratch_cols_;
             Color4f af_color = qfilter_.filterAnisotropicAddrs(
                 sampler, quad.uv[i], info, memo_, footprints[i].data(),
                 sample_cols);
@@ -396,8 +354,8 @@ TextureUnit::anisoQuadPatu(const QuadFragment &quad,
             std::span<TexelAddrSet> s =
                 arena_.allocSpanUninit<TexelAddrSet>(
                     static_cast<std::size_t>(n_act) * n);
-            Color4f cols[simd::kMaxLanes];
-            Vec2 uvs[simd::kMaxLanes];
+            Color4f *cols = scratch_cols_;
+            Vec2 *uvs = scratch_uvs_;
             for (int a = 0; a < n_act; ++a)
                 qfilter_.anisoUvs(quad.uv[act[a]], info,
                                   uvs + a * static_cast<std::size_t>(n));
@@ -442,7 +400,7 @@ TextureUnit::anisoQuadStf(const QuadFragment &quad,
     const bool weighted =
         config_.filter_policy == FilterPolicyId::StfWeighted;
     const float inv_n = 1.0f / static_cast<float>(n);
-    Vec2 uvs[simd::kMaxLanes];
+    Vec2 *uvs = scratch_uvs_;
     for (int a = 0; a < n_act; ++a) {
         const int i = act[a];
         PixelPlan &plan = plans[i];

@@ -216,11 +216,54 @@ class TextureUnit
         std::vector<Addr> order_; ///< Distinct lines, first-touch order.
     };
 
-    /** Record a sample's lines into the quad batch (no memory access). */
-    void queueSample(const TexelAddrSet &addrs);
+    /**
+     * Record a sample's lines into the quad batch (no memory access).
+     * Inline: this is the hottest per-sample call in the frame (one per
+     * trilinear sample), and the loop is eight mask-compare-maybe-insert
+     * steps against the cached line mask.
+     *
+     * Texels within a sample frequently share cache lines (tiled
+     * layout), and samples across the quad share whole footprints; the
+     * fetch unit coalesces all of it, so record each distinct line once
+     * for the quad-level batched read. Tracking the last line per level
+     * half (slots 0-3 = finer level, 4-7 = coarser) across the quad's
+     * samples only skips probes of lines already recorded — first-touch
+     * order is unchanged.
+     */
+    void
+    queueSample(const TexelAddrSet &addrs)
+    {
+        for (int k = 0; k < 8; ++k) {
+            Addr la = addrs[static_cast<std::size_t>(k)] & line_mask_;
+            Addr &prev = prev_line_[k >> 2];
+            if (la != prev) {
+                lines_.insertLine(la);
+                prev = la;
+            }
+        }
+        stats_.texels += 8;
+        ++stats_.trilinear_samples;
+    }
 
-    /** Record one stochastically chosen texel (STF policies). */
-    void queueTexel(Addr addr);
+    /**
+     * Single-texel variant of queueSample() for the stochastic
+     * policies: one address, one texel, no trilinear op. STF draws
+     * within a pixel walk the footprint's AF line, so the same
+     * last-line hint applies (slot 0: STF fetches all land on the
+     * decision LOD's level pair).
+     */
+    void
+    queueTexel(Addr addr)
+    {
+        Addr la = addr & line_mask_;
+        Addr &prev = prev_line_[0];
+        if (la != prev) {
+            lines_.insertLine(la);
+            prev = la;
+        }
+        stats_.texels += 1;
+        ++stats_.stf_samples;
+    }
 
     /**
      * Everything about a quad that does not depend on memory timing:
@@ -266,7 +309,18 @@ class TextureUnit
      * quad — a probe-skipping hint for queueSample(); reset per quad.
      */
     Addr prev_line_[2] = {~static_cast<Addr>(0), ~static_cast<Addr>(0)};
+    /** Cache-line mask (~(line_bytes - 1)), hoisted from the config. */
+    Addr line_mask_ = 0;
     BumpArena arena_;      ///< Per-quad AF footprint storage.
+    /**
+     * Reusable batch scratch for the anisotropic paths. Color4f/Vec2
+     * carry default member initializers, so declaring these as locals
+     * value-initializes ~1.5 KB per quad — hot enough to show in
+     * profiles. Contents are dead between calls; single-threaded like
+     * the rest of the unit.
+     */
+    Color4f scratch_cols_[simd::kMaxLanes];
+    Vec2 scratch_uvs_[simd::kMaxLanes];
     simd::QuadFilter qfilter_; ///< SoA batch filter (see src/simd/).
     std::uint32_t frame_seed_ = 0; ///< Camera-derived STF noise seed.
 };

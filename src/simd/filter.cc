@@ -6,6 +6,19 @@
 #include "common/contract.hh"
 #include "simd/kernels.hh"
 
+// This TU is compiled at the base x86-64 ISA, which includes SSE2: the
+// RGBA accumulator below rides one 4-wide register per sample with no
+// dispatch needed. Each channel's lane runs the exact scalar chain
+// (separate mulps/addps in slot order — no FMA at this ISA level), so
+// the colors are bit-identical to the scalar fallback and independent
+// of the PARGPU_SIMD tier and build knob.
+#if defined(__SSE2__)
+#define PARGPU_FILTER_SSE 1
+#include <emmintrin.h>
+#else
+#define PARGPU_FILTER_SSE 0
+#endif
+
 namespace pargpu::simd
 {
 
@@ -18,10 +31,9 @@ QuadFilter::gather(const TextureSampler &sampler, const Vec2 *uvs, int n,
 {
     PARGPU_CHECK_RANGE(n, 1, kMaxLanes, "batch lane count");
     const TextureMap &tex = sampler.texture();
-    const KernelOps &ops = activeKernels();
 
     // The level selection is batch-wide: hoist the per-level constants out
-    // of the sample loop. (Manually — the SoA stores below could alias the
+    // of the sample loop. (Manually — the stores below could alias the
     // texture's arrays for all the compiler knows, blocking the hoist.)
     struct LevelCtx
     {
@@ -36,20 +48,21 @@ QuadFilter::gather(const TextureSampler &sampler, const Vec2 *uvs, int n,
          static_cast<float>(tex.level(sel.level1).height), sel.frac},
     };
 
-    // Batches narrower than the active vector width gain nothing from the
-    // slot-major staging: accumulate them directly in the gather loop.
-    // The chain per lane is the same sequential slot-order multiply-add
-    // (separate mul and add — this TU is compiled at the base x86-64 ISA,
-    // which has no FMA to contract into) every kernel implements, so the
-    // result is bit-identical to the staged path on any dispatch tier.
-    const bool direct = n < ops.lanes;
-
-    // Gather: per sample, the same footprint walk as trilinearInto() —
-    // identical address math, blend weights and memo probe order — but
-    // colors land in the slot-major batch instead of being blended
-    // per-texel.
+    // Gather + accumulate in one pass: per sample, the same footprint
+    // walk as trilinearInto() — identical address math, blend weights
+    // and memo probe order — with the RGBA accumulation riding one
+    // 4-wide register (one lane per channel, broadcast weight). A
+    // sample's channels are independent, so vectorizing ACROSS channels
+    // leaves each channel's slot-order multiply-add chain untouched:
+    // the color is bit-identical to the scalar fallback below, on every
+    // dispatch tier, with none of the slot-major staging traffic the
+    // previous kernel round-trip paid (~40 stores + reloads per sample).
     for (int i = 0; i < n; ++i) {
+#if PARGPU_FILTER_SSE
+        __m128 acc = _mm_setzero_ps();
+#else
         float acc_r = 0.0f, acc_g = 0.0f, acc_b = 0.0f, acc_a = 0.0f;
+#endif
         if constexpr (kFull) {
             TrilinearSample &s = out[i];
             s.uv = uvs[i];
@@ -95,48 +108,32 @@ QuadFilter::gather(const TextureSampler &sampler, const Vec2 *uvs, int n,
                 } else {
                     addrs[i][slot] = e.addr[k];
                 }
-                if (direct) {
-                    acc_r += e.color[k].r * w;
-                    acc_g += e.color[k].g * w;
-                    acc_b += e.color[k].b * w;
-                    acc_a += e.color[k].a * w;
-                } else {
-                    tex_.r[slot][i] = e.color[k].r;
-                    tex_.g[slot][i] = e.color[k].g;
-                    tex_.b[slot][i] = e.color[k].b;
-                    tex_.a[slot][i] = e.color[k].a;
-                    wgt_.w[slot][i] = w;
-                }
+#if PARGPU_FILTER_SSE
+                acc = _mm_add_ps(
+                    acc, _mm_mul_ps(_mm_loadu_ps(&e.color[k].r),
+                                    _mm_set1_ps(w)));
+#else
+                acc_r += e.color[k].r * w;
+                acc_g += e.color[k].g * w;
+                acc_b += e.color[k].b * w;
+                acc_a += e.color[k].a * w;
+#endif
             }
         }
-        if (direct) {
-            out_r_[i] = acc_r;
-            out_g_[i] = acc_g;
-            out_b_[i] = acc_b;
-            out_a_[i] = acc_a;
-        }
-    }
-
-    if (!direct) {
-        // Pad lanes up to the vector width carry zero weights so the
-        // kernel may compute (and discard) them; their colors are
-        // stale-but-finite (the batches start zeroed).
-        const int padded = (n + ops.lanes - 1) / ops.lanes * ops.lanes;
-        for (int i = n; i < padded; ++i)
-            for (int s = 0; s < kMaxSlots; ++s)
-                wgt_.w[s][i] = 0.0f;
-        ops.accumulate(tex_, wgt_, kMaxSlots, n, out_r_, out_g_, out_b_,
-                       out_a_);
-    }
-    ++batches_;
-
-    for (int i = 0; i < n; ++i) {
-        const Color4f c{out_r_[i], out_g_[i], out_b_[i], out_a_[i]};
+#if PARGPU_FILTER_SSE
+        if constexpr (kFull)
+            _mm_storeu_ps(&out[i].color.r, acc);
+        else
+            _mm_storeu_ps(&colors[i].r, acc);
+#else
+        const Color4f c{acc_r, acc_g, acc_b, acc_a};
         if constexpr (kFull)
             out[i].color = c;
         else
             colors[i] = c;
+#endif
     }
+    ++batches_;
 }
 
 void
@@ -184,19 +181,44 @@ QuadFilter::anisoUvs(const Vec2 &uv, const AnisotropyInfo &info, Vec2 *out)
 Color4f
 QuadFilter::averageColors(const TrilinearSample *samples, int n)
 {
+    // Same across-channel vectorization as the gather accumulator: each
+    // channel's lane performs the scalar sequence (mul by 1/n, add in
+    // sample order), so the mean is bit-identical to the scalar loop.
+#if PARGPU_FILTER_SSE
+    const __m128 inv_n = _mm_set1_ps(1.0f / static_cast<float>(n));
+    __m128 acc = _mm_setzero_ps();
+    for (int i = 0; i < n; ++i)
+        acc = _mm_add_ps(
+            acc, _mm_mul_ps(_mm_loadu_ps(&samples[i].color.r), inv_n));
+    Color4f out;
+    _mm_storeu_ps(&out.r, acc);
+    return out;
+#else
     Color4f acc{0, 0, 0, 0};
     for (int i = 0; i < n; ++i)
         acc += samples[i].color * (1.0f / static_cast<float>(n));
     return acc;
+#endif
 }
 
 Color4f
 QuadFilter::averageColors(const Color4f *colors, int n)
 {
+#if PARGPU_FILTER_SSE
+    const __m128 inv_n = _mm_set1_ps(1.0f / static_cast<float>(n));
+    __m128 acc = _mm_setzero_ps();
+    for (int i = 0; i < n; ++i)
+        acc = _mm_add_ps(acc,
+                         _mm_mul_ps(_mm_loadu_ps(&colors[i].r), inv_n));
+    Color4f out;
+    _mm_storeu_ps(&out.r, acc);
+    return out;
+#else
     Color4f acc{0, 0, 0, 0};
     for (int i = 0; i < n; ++i)
         acc += colors[i] * (1.0f / static_cast<float>(n));
     return acc;
+#endif
 }
 
 Color4f
@@ -207,7 +229,7 @@ QuadFilter::filterAnisotropic(const TextureSampler &sampler, const Vec2 &uv,
     const int n = info.sampleSize;
     PARGPU_CHECK_RANGE(n, 1, kMaxLanes, "anisotropic sample count");
     const LodSelect sel = sampler.selectLod(info.lodAF);
-    Vec2 uvs[kMaxLanes];
+    Vec2 *uvs = uvs_;
     anisoUvs(uv, info, uvs);
     filterSamples(sampler, uvs, n, sel, memo, out);
     return averageColors(out, n);
@@ -234,7 +256,7 @@ QuadFilter::filterAnisotropicAddrs(const TextureSampler &sampler,
     const int n = info.sampleSize;
     PARGPU_CHECK_RANGE(n, 1, kMaxLanes, "anisotropic sample count");
     const LodSelect sel = sampler.selectLod(info.lodAF);
-    Vec2 uvs[kMaxLanes];
+    Vec2 *uvs = uvs_;
     anisoUvs(uv, info, uvs);
     filterSamplesAddrs(sampler, uvs, n, sel, memo, addrs, colors);
     return averageColors(colors, n);

@@ -3,11 +3,13 @@
  * Batched quad filtering on top of the SoA kernels.
  *
  * QuadFilter is the texture unit's replacement for the per-texel blend
- * loops in TextureSampler: it gathers the texels of up to kMaxLanes
- * trilinear samples into slot-major SoA batches — footprints served by
- * reference from the per-quad FootprintMemo, misses fetched block-at-a-
- * time through TextureMap::fetchFootprint — runs one weight-accumulation
- * kernel call (dispatch.hh picks the tier), and scatters the colors back.
+ * loops in TextureSampler: it walks the texels of up to kMaxLanes
+ * trilinear samples — footprints served by reference from the per-quad
+ * FootprintMemo, misses fetched block-at-a-time through
+ * TextureMap::fetchFootprint — and accumulates each sample's RGBA in a
+ * single 4-wide register (one lane per channel), fused into the gather
+ * loop. The slot-major SoA staging + accumulate-kernel round-trip lives
+ * on in kernels.hh for workloads that batch wider than a sample.
  *
  * Everything observable is bit-identical to the scalar sampler paths:
  * the per-sample FP accumulation chain (see kernels.hh), the TexelRef
@@ -30,9 +32,8 @@ namespace pargpu::simd
 {
 
 /**
- * Per-texture-unit batch filter. Holds the SoA staging buffers (a few KB,
- * allocation-free after construction); not thread-safe — each texture
- * unit owns one, like its FootprintMemo.
+ * Per-texture-unit batch filter; allocation-free. Not thread-safe —
+ * each texture unit owns one, like its FootprintMemo.
  */
 class QuadFilter
 {
@@ -105,7 +106,7 @@ class QuadFilter
                                    FootprintMemo &memo, TexelAddrSet *addrs,
                                    Color4f *colors);
 
-    /** Kernel invocations since the last call; drains to zero. */
+    /** Batched filter invocations since the last call; drains to zero. */
     std::uint64_t
     takeBatches()
     {
@@ -126,13 +127,13 @@ class QuadFilter
                 TrilinearSample *out, TexelAddrSet *addrs,
                 Color4f *colors);
 
-    TexelBatch tex_{};
-    WeightBatch wgt_{};
-    alignas(32) float out_r_[kMaxLanes] = {};
-    alignas(32) float out_g_[kMaxLanes] = {};
-    alignas(32) float out_b_[kMaxLanes] = {};
-    alignas(32) float out_a_[kMaxLanes] = {};
     std::uint64_t batches_ = 0;
+    /**
+     * Reusable AF sample-center scratch: Vec2's default member
+     * initializers would zero-fill a kMaxLanes local on every
+     * filterAnisotropic*() call. Dead between calls.
+     */
+    Vec2 uvs_[kMaxLanes];
 };
 
 } // namespace pargpu::simd

@@ -120,8 +120,13 @@ class FootprintMemo
   public:
     static constexpr int kSlots = 128; ///< >= footprints of a 16x AF quad.
 
-    /** One cached footprint: key plus the four texel colors/addresses. */
-    struct Entry
+    /**
+     * One cached footprint: key plus the four texel colors/addresses.
+     * Cache-line aligned: the 112-byte payload would otherwise straddle
+     * up to three lines at varying offsets; at 128 bytes each probe
+     * touches the key's line and a hit reads exactly one more.
+     */
+    struct alignas(64) Entry
     {
         std::uint32_t gen = 0; ///< Valid iff equal to the memo's stamp.
         int level = 0;

@@ -14,14 +14,23 @@
 #include "common/threadpool.hh"
 #include "harness/metrics.hh"
 #include "harness/runner.hh"
+#include "sim/pipeline.hh"
+#include "simd/dispatch.hh"
 
 using namespace pargpu;
 
 namespace
 {
 
+/**
+ * Field-by-field FrameStats equality. @p compare_arena excludes the
+ * arena.* byte counters: they are the one designed difference between
+ * PARGPU_ARENA=1 and =0 runs (zero when off), while everything else —
+ * cycles, images, traffic — must still match bit-for-bit.
+ */
 void
-expectStatsEqual(const FrameStats &a, const FrameStats &b)
+expectStatsEqual(const FrameStats &a, const FrameStats &b,
+                 bool compare_arena = true)
 {
 #define PARGPU_EQ(field) EXPECT_EQ(a.field, b.field) << #field
     PARGPU_EQ(total_cycles);
@@ -43,6 +52,13 @@ expectStatsEqual(const FrameStats &a, const FrameStats &b)
     PARGPU_EQ(tex_lines);
     PARGPU_EQ(memo_lookups);
     PARGPU_EQ(memo_hits);
+    PARGPU_EQ(simd_batches);
+    PARGPU_EQ(raster_simd_quads);
+    PARGPU_EQ(fb_simd_fills);
+    if (compare_arena) {
+        PARGPU_EQ(arena_frame_bytes);
+        PARGPU_EQ(arena_high_water);
+    }
     PARGPU_EQ(af_candidate_pixels);
     PARGPU_EQ(approx_stage1);
     PARGPU_EQ(approx_stage2);
@@ -100,11 +116,12 @@ expectImagesEqual(const Image &a, const Image &b)
 }
 
 void
-expectRunsEqual(const RunResult &a, const RunResult &b)
+expectRunsEqual(const RunResult &a, const RunResult &b,
+                bool compare_arena = true)
 {
     ASSERT_EQ(a.frames.size(), b.frames.size());
     for (std::size_t f = 0; f < a.frames.size(); ++f)
-        expectStatsEqual(a.frames[f], b.frames[f]);
+        expectStatsEqual(a.frames[f], b.frames[f], compare_arena);
     ASSERT_EQ(a.images.size(), b.images.size());
     for (std::size_t f = 0; f < a.images.size(); ++f)
         expectImagesEqual(a.images[f], b.images[f]);
@@ -348,4 +365,123 @@ TEST(Determinism, ParallelSsimMatchesSerial)
     for (std::size_t i = 0; i < serial_map.size(); ++i)
         ASSERT_EQ(serial_map[i], parallel_map[i]) << "map index " << i;
     EXPECT_EQ(serial_mssim, parallel_mssim);
+}
+
+// --- SIMD tier x execution mode x arena storage ----------------------
+// The full hot-path matrix: every runnable kernel tier, serial and
+// tile-parallel execution, and both scratch-storage modes must render
+// the exact frames of the scalar / serial / arena-on reference.
+
+namespace
+{
+
+/** Runnable dispatch tiers on this build and CPU (scalar always). */
+std::vector<simd::SimdTier>
+runnableTiers()
+{
+    std::vector<simd::SimdTier> tiers{simd::SimdTier::Scalar};
+    const auto top = static_cast<int>(simd::detectTier());
+    if (top >= static_cast<int>(simd::SimdTier::Sse))
+        tiers.push_back(simd::SimdTier::Sse);
+    if (top >= static_cast<int>(simd::SimdTier::Avx2))
+        tiers.push_back(simd::SimdTier::Avx2);
+    return tiers;
+}
+
+} // namespace
+
+TEST(Determinism, SimdTierTimesExecutionMode)
+{
+    GameTrace trace = smallTrace();
+    RunConfig serial_cfg;
+    serial_cfg.scenario = DesignScenario::Patu;
+    serial_cfg.threshold = 0.4f;
+    serial_cfg.threads = 1;
+
+    const simd::SimdTier saved = simd::activeTier();
+    simd::setActiveTier(simd::SimdTier::Scalar);
+    RunResult ref = runTrace(trace, serial_cfg);
+
+    for (simd::SimdTier tier : runnableTiers()) {
+        SCOPED_TRACE(simd::tierName(tier));
+        simd::setActiveTier(tier);
+
+        expectRunsEqual(ref, runTrace(trace, serial_cfg));
+
+        RunConfig tile_cfg = serial_cfg;
+        tile_cfg.tile_parallel = true;
+        ThreadPool::setDefaultThreads(3);
+        expectRunsEqual(ref, runTrace(trace, tile_cfg));
+        ThreadPool::setDefaultThreads(0);
+
+        RunConfig frame_cfg = serial_cfg;
+        frame_cfg.threads = 3;
+        expectRunsEqual(ref, runTrace(trace, frame_cfg));
+    }
+    simd::setActiveTier(saved);
+}
+
+TEST(Determinism, ArenaScratchOffMatchesOn)
+{
+    GameTrace trace = smallTrace();
+    RunConfig cfg;
+    cfg.scenario = DesignScenario::Patu;
+    cfg.threshold = 0.4f;
+    cfg.threads = 1;
+
+    setArenaScratchForTesting(1);
+    RunResult on = runTrace(trace, cfg);
+    setArenaScratchForTesting(0);
+    RunResult off = runTrace(trace, cfg);
+
+    // Everything except the arena.* byte counters is bit-identical;
+    // with the arena off those counters must read exactly zero.
+    expectRunsEqual(on, off, /*compare_arena=*/false);
+    for (const FrameStats &fs : on.frames) {
+        EXPECT_GT(fs.arena_frame_bytes, 0u);
+        EXPECT_GT(fs.arena_high_water, 0u);
+    }
+    for (const FrameStats &fs : off.frames) {
+        EXPECT_EQ(fs.arena_frame_bytes, 0u);
+        EXPECT_EQ(fs.arena_high_water, 0u);
+    }
+
+    // The heap path must also survive the tile-parallel fragment phase.
+    RunConfig tile_cfg = cfg;
+    tile_cfg.tile_parallel = true;
+    ThreadPool::setDefaultThreads(3);
+    expectRunsEqual(on, runTrace(trace, tile_cfg),
+                    /*compare_arena=*/false);
+    ThreadPool::setDefaultThreads(0);
+    setArenaScratchForTesting(-1);
+}
+
+TEST(Determinism, ArenaTimesTierMatrix)
+{
+    // The diagonal stress: non-default tier and non-default storage at
+    // once, on top of tile parallelism.
+    GameTrace trace = smallTrace();
+    RunConfig cfg;
+    cfg.threads = 1;
+
+    const simd::SimdTier saved = simd::activeTier();
+    simd::setActiveTier(simd::SimdTier::Scalar);
+    setArenaScratchForTesting(1);
+    RunResult ref = runTrace(trace, cfg);
+
+    RunConfig tile_cfg = cfg;
+    tile_cfg.tile_parallel = true;
+    for (simd::SimdTier tier : runnableTiers()) {
+        SCOPED_TRACE(simd::tierName(tier));
+        simd::setActiveTier(tier);
+        setArenaScratchForTesting(0);
+        ThreadPool::setDefaultThreads(3);
+        expectRunsEqual(ref, runTrace(trace, tile_cfg),
+                        /*compare_arena=*/false);
+        ThreadPool::setDefaultThreads(0);
+        setArenaScratchForTesting(1);
+        expectRunsEqual(ref, runTrace(trace, cfg));
+    }
+    setArenaScratchForTesting(-1);
+    simd::setActiveTier(saved);
 }
